@@ -1,0 +1,76 @@
+#pragma once
+// Shared scaffolding for the figure-reproduction binaries: every binary
+// prints (a) a header describing the paper figure it regenerates, (b) the
+// series as an aligned table, and (c) a CSV block for plotting.
+
+#include <cctype>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "cluster/experiments.h"
+#include "io/table.h"
+
+namespace finwork::bench {
+
+/// Print a figure's output in the harness's uniform format.  When the
+/// FINWORK_CSV_DIR environment variable is set, the CSV is additionally
+/// written to <dir>/<slug-of-figure-id>.csv for plotting pipelines.
+inline void emit_figure(const std::string& figure_id,
+                        const std::string& description,
+                        const io::Table& table, int precision = 4) {
+  io::print_section(std::cout, figure_id);
+  std::cout << description << "\n\n";
+  table.print(std::cout, precision);
+  std::cout << "\n--- CSV ---\n";
+  table.print_csv(std::cout);
+  if (const char* dir = std::getenv("FINWORK_CSV_DIR")) {
+    std::string slug;
+    for (char c : figure_id) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        slug.push_back(static_cast<char>(std::tolower(c)));
+      } else if (!slug.empty() && slug.back() != '_') {
+        slug.push_back('_');
+      }
+    }
+    while (!slug.empty() && slug.back() == '_') slug.pop_back();
+    table.write_csv(std::string(dir) + "/" + slug + ".csv");
+    std::cout << "(csv written to " << dir << "/" << slug << ".csv)\n";
+  }
+  std::cout.flush();
+}
+
+/// The paper's shared-storage shape variants for Figures 3 and 4.
+inline std::vector<cluster::ShapeVariant> shared_disk_variants() {
+  auto with_remote = [](double scv) {
+    cluster::ClusterShapes s;
+    s.remote_disk = cluster::ServiceShape::from_scv(scv);
+    return s;
+  };
+  return {
+      {"Exp", {}},
+      {"H2_C2_10", with_remote(10.0)},
+      {"H2_C2_50", with_remote(50.0)},
+  };
+}
+
+/// The paper's dedicated-CPU shape variants for Figures 10 and 11.
+inline std::vector<cluster::ShapeVariant> dedicated_cpu_variants() {
+  auto with_cpu = [](cluster::ServiceShape shape) {
+    cluster::ClusterShapes s;
+    s.cpu = std::move(shape);
+    return s;
+  };
+  return {
+      {"Exp", {}},
+      {"E3", with_cpu(cluster::ServiceShape::erlang(3))},
+      {"H2_C2_2", with_cpu(cluster::ServiceShape::hyperexponential(2.0))},
+  };
+}
+
+/// The C^2 grid the paper sweeps in Figures 5-9 (1 to ~100).
+inline std::vector<double> scv_grid() {
+  return {1.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0};
+}
+
+}  // namespace finwork::bench

@@ -1,0 +1,74 @@
+// Ablation — the steady-state approximation (companion paper [17]) versus
+// the exact epoch recursion: accuracy and cost as the workload grows, and
+// the effect of the warmup budget.
+
+#include <chrono>
+
+#include "common.h"
+#include "core/approximation.h"
+#include "core/transient_solver.h"
+
+namespace {
+
+double seconds_of(const std::function<double()>& f, double& out) {
+  const auto start = std::chrono::steady_clock::now();
+  out = f();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace finwork;
+  cluster::ExperimentConfig cfg;
+  cfg.workstations = 6;
+  cfg.shapes.remote_disk = cluster::ServiceShape::hyperexponential(20.0);
+  const net::NetworkSpec spec = cluster::build_cluster(cfg);
+  const core::TransientSolver solver(spec, 6);
+  (void)solver.steady_state();  // prepay the fixed point for fair timing
+
+  {
+    io::Table table({"N", "exact", "approx", "rel_err_pct", "exact_ms",
+                     "approx_ms"});
+    for (std::size_t n : {10u, 30u, 100u, 300u, 1000u, 3000u}) {
+      double exact = 0.0, approx = 0.0;
+      const double t_exact =
+          seconds_of([&] { return solver.makespan(n); }, exact);
+      const double t_approx = seconds_of(
+          [&] { return core::approximate_makespan(solver, n).makespan; },
+          approx);
+      table.add_row({static_cast<double>(n), exact, approx,
+                     100.0 * (approx - exact) / exact, 1e3 * t_exact,
+                     1e3 * t_approx});
+    }
+    bench::emit_figure(
+        "Ablation — steady-state approximation vs exact recursion",
+        "K=6, H2(C2=20) shared disk. The approximation's cost is O(K) after\n"
+        "the fixed point (flat in N) while the exact recursion is O(N);\n"
+        "its relative error shrinks as the steady region grows.",
+        table, 5);
+  }
+
+  {
+    io::Table table({"warmup_epochs", "approx", "rel_err_pct"});
+    const std::size_t n = 60;
+    const double exact = solver.makespan(n);
+    for (std::size_t warmup : {0u, 1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+      core::ApproximationOptions opts;
+      opts.warmup_epochs = warmup;
+      const double approx =
+          core::approximate_makespan(solver, n, opts).makespan;
+      table.add_row({static_cast<double>(warmup), approx,
+                     100.0 * (approx - exact) / exact});
+    }
+    bench::emit_figure(
+        "Ablation — warmup budget of the approximation (N=60)",
+        "Exact leading epochs kill the warm-up error geometrically; beyond\n"
+        "the transient length extra warmup buys nothing until it covers\n"
+        "every saturated epoch (then the method degenerates to exact).",
+        table, 6);
+  }
+  return 0;
+}

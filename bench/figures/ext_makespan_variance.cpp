@@ -1,0 +1,58 @@
+// Extension — makespan variability.  The paper reports means only; the
+// absorbing-chain machinery also yields the makespan's variance, which is
+// what a deadline-driven operator actually needs (E(T) + k sigma).
+
+#include "common.h"
+#include "core/transient_solver.h"
+
+int main() {
+  using namespace finwork;
+
+  {
+    io::Table table({"C2", "mean_N30", "std_N30", "scv_N30", "mean_N100",
+                     "std_N100", "scv_N100"});
+    for (double scv : {1.0, 5.0, 10.0, 30.0, 50.0, 90.0}) {
+      cluster::ExperimentConfig cfg;
+      cfg.workstations = 5;
+      cfg.shapes.remote_disk = cluster::ServiceShape::from_scv(scv);
+      const core::TransientSolver solver(cluster::build_cluster(cfg), 5);
+      const core::MakespanMoments m30 = solver.makespan_moments(30);
+      const core::MakespanMoments m100 = solver.makespan_moments(100);
+      table.add_row({scv, m30.mean, m30.std_dev, m30.scv, m100.mean,
+                     m100.std_dev, m100.scv});
+    }
+    bench::emit_figure(
+        "Extension — makespan variance vs storage C2 (K=5)",
+        "Makespan std-dev from the absorbing-chain second moment.  Bursty\n"
+        "storage inflates not only the mean but the spread; longer\n"
+        "workloads concentrate (scv falls roughly like 1/N).",
+        table, 4);
+  }
+
+  {
+    io::Table table({"N", "mean", "std", "p_overrun_exact",
+                     "p_overrun_cantelli"});
+    cluster::ExperimentConfig cfg;
+    cfg.workstations = 5;
+    cfg.shapes.remote_disk = cluster::ServiceShape::hyperexponential(10.0);
+    const core::TransientSolver solver(cluster::build_cluster(cfg), 5);
+    for (std::size_t n : {10u, 20u, 40u, 80u, 160u}) {
+      const core::MakespanMoments mm = solver.makespan_moments(n);
+      const double deadline = 1.1 * mm.mean;
+      // Exact overrun probability from the makespan distribution, next to
+      // the distribution-free Cantelli bound for comparison.
+      const double exact = 1.0 - solver.makespan_cdf(n, deadline);
+      const double slack = 0.1 * mm.mean;
+      const double bound = mm.variance / (mm.variance + slack * slack);
+      table.add_row(
+          {static_cast<double>(n), mm.mean, mm.std_dev, exact, bound});
+    }
+    bench::emit_figure(
+        "Extension — deadline risk vs workload size",
+        "P(T > 1.1 E(T)) exactly (uniformized makespan CDF) and via the\n"
+        "Cantelli bound: small workloads carry real overrun risk even when\n"
+        "means look safe, and the bound overstates it severalfold.",
+        table, 4);
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Extension study — power-tail storage, the paper's motivation.  The
+// introduction cites Leland/Ott (CPU times), Crovella and Lipsky (file
+// sizes) for power-tail distributions; this harness quantifies what a
+// truncated power tail (Lipsky's TPT) at the shared storage does to the
+// cluster, and how the effect deepens with the truncation level M — the
+// "long-lasting transient conditions" phenomenon.
+
+#include "common.h"
+#include "core/metrics.h"
+#include "core/transient_solver.h"
+#include "ph/fitting.h"
+
+int main() {
+  using namespace finwork;
+
+  // Part 1: steady state and prediction error versus tail index alpha.
+  {
+    io::Table table({"alpha", "scv", "t_ss", "E%_N30", "SP_N30"});
+    for (double alpha : {2.6, 2.2, 1.8, 1.4, 1.2}) {
+      cluster::ExperimentConfig cfg;
+      cfg.workstations = 5;
+      cfg.shapes.remote_disk = cluster::ServiceShape::power_tail(alpha, 10);
+      const net::NetworkSpec spec = cluster::build_cluster(cfg);
+      const core::TransientSolver solver(spec, 5);
+      const core::TransientSolver expo(spec.exponentialized(), 5);
+      const double act = solver.makespan(30);
+      table.add_row({alpha, spec.station(3).service.scv(),
+                     solver.steady_state().interdeparture,
+                     100.0 * (act - expo.makespan(30)) / act,
+                     core::speedup(30, cfg.app.task_mean_time(), act)});
+    }
+    bench::emit_figure(
+        "Extension — truncated power-tail storage vs tail index alpha",
+        "TPT(alpha, M=10) shared disk, K=5, N=30. Heavier tails (smaller\n"
+        "alpha) inflate C2, the steady-state inter-departure time and the\n"
+        "exponential-assumption error, and depress speedup.",
+        table);
+  }
+
+  // Part 2: truncation-depth sweep at fixed alpha — the divergence Lipsky's
+  // power-tail papers warn about (alpha < 2: variance grows without bound).
+  {
+    io::Table table({"levels", "scv", "t_ss", "E%_N30"});
+    for (std::size_t levels : {2u, 4u, 6u, 8u, 10u, 12u, 14u}) {
+      cluster::ExperimentConfig cfg;
+      cfg.workstations = 5;
+      cfg.shapes.remote_disk = cluster::ServiceShape::power_tail(1.4, levels);
+      const net::NetworkSpec spec = cluster::build_cluster(cfg);
+      const core::TransientSolver solver(spec, 5);
+      const core::TransientSolver expo(spec.exponentialized(), 5);
+      const double act = solver.makespan(30);
+      table.add_row({static_cast<double>(levels),
+                     spec.station(3).service.scv(),
+                     solver.steady_state().interdeparture,
+                     100.0 * (act - expo.makespan(30)) / act});
+    }
+    bench::emit_figure(
+        "Extension — effect of the truncation depth M at alpha = 1.4",
+        "With alpha < 2 the variance diverges as M grows: every added level\n"
+        "worsens t_ss and the exponential assumption, without converging —\n"
+        "why exponential models cannot be patched for power-tail workloads.",
+        table);
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Figure 8: system speedup versus the shared storage's C^2 for a
+// 5-workstation central cluster, N = 30 and 100.  SP = N * 12 / E(T).
+
+#include "common.h"
+
+int main() {
+  using namespace finwork;
+  cluster::ExperimentConfig base;
+  base.architecture = cluster::Architecture::kCentral;
+  base.workstations = 5;
+
+  const auto table =
+      cluster::speedup_vs_scv(base, bench::scv_grid(), {30, 100});
+  bench::emit_figure(
+      "Figure 8 — speedup vs C2, K=5",
+      "Speedup falls with C2 (contention at the shared disk worsens) and the\n"
+      "larger workload (steady-state dominated) always achieves more of the\n"
+      "available parallelism.",
+      table);
+  return 0;
+}

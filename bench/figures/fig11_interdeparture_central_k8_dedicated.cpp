@@ -1,0 +1,22 @@
+// Figure 11: inter-departure times of a 30-task application on an
+// 8-workstation central cluster with non-exponential dedicated CPUs.
+
+#include "common.h"
+
+int main() {
+  using namespace finwork;
+  cluster::ExperimentConfig base;
+  base.app = cluster::ApplicationModel::coarse_grained();
+  base.architecture = cluster::Architecture::kCentral;
+  base.workstations = 8;
+
+  const auto table =
+      cluster::interdeparture_series(base, bench::dedicated_cpu_variants(), 30);
+  bench::emit_figure(
+      "Figure 11 — inter-departure time, central K=8, N=30, dedicated CPU",
+      "Same sweep as Figure 10 on the central architecture: all three\n"
+      "distributions share the steady-state value; E3 hugs Exp, H2 departs\n"
+      "in the transient/draining regions.",
+      table);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 12: prediction-error bars for a 5-workstation cluster whose
+// dedicated CPUs have C^2 in {1/3, 1/2, 1, 5, 10}.  Paper: exponential is a
+// good stand-in for Erlangian CPUs (C^2 < 1, small negative error) but fails
+// for hyperexponential ones.
+
+#include "common.h"
+
+int main() {
+  using namespace finwork;
+  cluster::ExperimentConfig base;
+  base.app = cluster::ApplicationModel::coarse_grained();
+  base.architecture = cluster::Architecture::kCentral;
+  base.workstations = 5;
+
+  const auto table = cluster::prediction_error_vs_cpu_scv(
+      base, {1.0 / 3.0, 0.5, 1.0, 5.0, 10.0}, {30});
+  bench::emit_figure(
+      "Figure 12 — prediction-error bars vs dedicated-CPU C2, K=5",
+      "E% per C2 bucket (N=30). Expect small negative bars at C2<1, zero at\n"
+      "C2=1, growing positive bars at C2=5,10.",
+      table);
+  return 0;
+}

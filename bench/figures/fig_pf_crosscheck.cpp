@@ -1,0 +1,37 @@
+// Cross-check (paper §6.2.1): for exponential networks the transient
+// solver's steady state equals the Jackson product-form solution.  Prints
+// t_ss from the Y_K R_K fixed point next to Buzen convolution and exact MVA
+// for central and distributed clusters of several sizes.
+
+#include <iostream>
+
+#include "common.h"
+#include "core/transient_solver.h"
+#include "pf/product_form.h"
+
+int main() {
+  using namespace finwork;
+  io::Table table({"K", "arch(0=c,1=d)", "t_ss_transient", "t_conv_buzen",
+                   "t_mva", "rel_diff"});
+  cluster::ApplicationModel app;
+  for (int arch = 0; arch < 2; ++arch) {
+    for (std::size_t k : {1u, 2u, 4u, 6u, 8u}) {
+      const net::NetworkSpec spec =
+          arch == 0 ? cluster::central_cluster(k, app)
+                    : cluster::distributed_cluster(k, app);
+      const core::TransientSolver solver(spec, k);
+      const double t_ss = solver.steady_state().interdeparture;
+      const double conv = pf::convolution(spec, k).cycle_time;
+      const double mva = pf::exact_mva(spec, k).cycle_time;
+      table.add_row({static_cast<double>(k), static_cast<double>(arch), t_ss,
+                     conv, mva, std::abs(t_ss - conv) / conv});
+    }
+  }
+  bench::emit_figure(
+      "Product-form cross-check — transient steady state vs Buzen/MVA",
+      "rel_diff must be ~1e-10: the transient model's saturated fixed point\n"
+      "reproduces the Jackson product-form throughput exactly for\n"
+      "exponential networks.",
+      table, 8);
+  return 0;
+}

@@ -1,0 +1,173 @@
+// Microbenchmarks of the solver kernels: state-space enumeration, level
+// matrix assembly, dense LU, epoch propagation, steady-state iteration,
+// matrix exponential, PH sampling and one simulator replication.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/experiments.h"
+#include "core/transient_solver.h"
+#include "linalg/expm.h"
+#include "linalg/lu.h"
+#include "linalg/parallel_blas.h"
+#include "pf/product_form.h"
+#include "ph/fitting.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace finwork;
+
+cluster::ExperimentConfig central_h2(std::size_t k) {
+  cluster::ExperimentConfig cfg;
+  cfg.architecture = cluster::Architecture::kCentral;
+  cfg.workstations = k;
+  cfg.shapes.remote_disk = cluster::ServiceShape::hyperexponential(10.0);
+  return cfg;
+}
+
+void BM_StateSpaceEnumeration(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const net::NetworkSpec spec = cluster::build_cluster(central_h2(k));
+  for (auto _ : state) {
+    net::StateSpace space(spec, k);
+    benchmark::DoNotOptimize(space.dimension(k));
+  }
+  state.counters["states"] =
+      static_cast<double>(net::StateSpace(spec, k).dimension(k));
+}
+BENCHMARK(BM_StateSpaceEnumeration)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_LevelMatrixAssembly(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const net::NetworkSpec spec = cluster::build_cluster(central_h2(k));
+  for (auto _ : state) {
+    net::StateSpace space(spec, k);
+    benchmark::DoNotOptimize(space.level(k).p.nnz());
+  }
+}
+BENCHMARK(BM_LevelMatrixAssembly)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_DenseLuFactorTopLevel(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const net::NetworkSpec spec = cluster::build_cluster(central_h2(k));
+  const net::StateSpace space(spec, k);
+  const net::LevelMatrices& lm = space.level(k);
+  la::Matrix a = lm.p.to_dense();
+  a *= -1.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) a(i, i) += 1.0;
+  for (auto _ : state) {
+    la::LuDecomposition lu(a);
+    benchmark::DoNotOptimize(lu.determinant());
+  }
+  state.counters["dim"] = static_cast<double>(a.rows());
+}
+BENCHMARK(BM_DenseLuFactorTopLevel)->Arg(8)->Arg(12);
+
+void BM_EpochStep(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const core::TransientSolver solver(cluster::build_cluster(central_h2(k)), k);
+  la::Vector pi = solver.initial_vector();
+  for (auto _ : state) {
+    pi = solver.apply_r(k, solver.apply_y(k, pi));
+    benchmark::DoNotOptimize(pi.data());
+  }
+}
+BENCHMARK(BM_EpochStep)->Arg(5)->Arg(8);
+
+void BM_FullTimelineN30(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const core::TransientSolver solver(cluster::build_cluster(central_h2(k)), k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(30).makespan);
+  }
+}
+BENCHMARK(BM_FullTimelineN30)->Arg(5)->Arg(8);
+
+void BM_SteadyStateIteration(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const net::NetworkSpec spec = cluster::build_cluster(central_h2(k));
+  for (auto _ : state) {
+    core::TransientSolver solver(spec, k);
+    benchmark::DoNotOptimize(solver.steady_state().interdeparture);
+  }
+}
+BENCHMARK(BM_SteadyStateIteration)->Arg(5)->Arg(8);
+
+void BM_MatrixExponential(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  // A stable sub-generator-like matrix.
+  la::Matrix a(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = -2.0;
+    a(i, (i + 1) % n) = 1.5;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::expm(a).trace());
+  }
+}
+BENCHMARK(BM_MatrixExponential)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_PhSampling(benchmark::State& state) {
+  const ph::PhaseType h = ph::hyperexponential_balanced(1.0, 25.0);
+  rng::Xoshiro256 g(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.sample(g));
+  }
+}
+BENCHMARK(BM_PhSampling);
+
+void BM_SimulatorReplication(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const net::NetworkSpec spec = cluster::build_cluster(central_h2(k));
+  const sim::NetworkSimulator simulator(spec, k);
+  rng::Xoshiro256 g(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.run_once(30, g).back());
+  }
+}
+BENCHMARK(BM_SimulatorReplication)->Arg(5)->Arg(8);
+
+void BM_BuzenConvolution(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  cluster::ApplicationModel app;
+  // Size the cluster so the dedicated banks stay ample at every population.
+  const net::NetworkSpec spec = cluster::central_cluster(512, app);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pf::convolution(spec, n).system_throughput);
+  }
+}
+BENCHMARK(BM_BuzenConvolution)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ExactMva(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  cluster::ApplicationModel app;
+  const net::NetworkSpec spec = cluster::central_cluster(512, app);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pf::exact_mva(spec, n).system_throughput);
+  }
+}
+BENCHMARK(BM_ExactMva)->Arg(8)->Arg(64)->Arg(512);
+
+
+void BM_SerialMatmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  la::Matrix a(n, n, 0.5), b(n, n, 0.25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((a * b).data());
+  }
+}
+BENCHMARK(BM_SerialMatmul)->Arg(128)->Arg(384);
+
+void BM_BlockedParallelMatmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  la::Matrix a(n, n, 0.5), b(n, n, 0.25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::multiply_blocked(a, b).data());
+  }
+}
+BENCHMARK(BM_BlockedParallelMatmul)->Arg(128)->Arg(384);
+
+}  // namespace
+
+BENCHMARK_MAIN();
+

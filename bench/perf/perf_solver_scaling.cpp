@@ -1,0 +1,80 @@
+// Scaling study: transient-solver cost versus cluster size and architecture,
+// and the dense-LU versus matrix-free iterative path on the same network.
+// This is the ablation DESIGN.md calls out for the solver-backend choice.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/experiments.h"
+#include "core/transient_solver.h"
+
+namespace {
+
+using namespace finwork;
+
+cluster::ExperimentConfig config(cluster::Architecture arch, std::size_t k,
+                                 double remote_scv) {
+  cluster::ExperimentConfig cfg;
+  cfg.architecture = arch;
+  cfg.workstations = k;
+  if (remote_scv != 1.0) {
+    cfg.shapes.remote_disk = cluster::ServiceShape::from_scv(remote_scv);
+  }
+  return cfg;
+}
+
+void BM_CentralMakespanVsK(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto cfg = config(cluster::Architecture::kCentral, k, 10.0);
+  const net::NetworkSpec spec = cluster::build_cluster(cfg);
+  for (auto _ : state) {
+    core::TransientSolver solver(spec, k);
+    benchmark::DoNotOptimize(solver.makespan(30));
+  }
+  state.counters["states"] =
+      static_cast<double>(net::StateSpace(spec, k).dimension(k));
+}
+BENCHMARK(BM_CentralMakespanVsK)->DenseRange(2, 12, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DistributedMakespanVsK(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto cfg = config(cluster::Architecture::kDistributed, k, 1.0);
+  const net::NetworkSpec spec = cluster::build_cluster(cfg);
+  for (auto _ : state) {
+    core::TransientSolver solver(spec, k);
+    benchmark::DoNotOptimize(solver.makespan(2 * k));
+  }
+  state.counters["states"] =
+      static_cast<double>(net::StateSpace(spec, k).dimension(k));
+}
+BENCHMARK(BM_DistributedMakespanVsK)->DenseRange(2, 7, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DenseBackend(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto cfg = config(cluster::Architecture::kDistributed, k, 4.0);
+  const net::NetworkSpec spec = cluster::build_cluster(cfg);
+  core::SolverOptions opts;  // defaults choose dense below the threshold
+  for (auto _ : state) {
+    core::TransientSolver solver(spec, k, opts);
+    benchmark::DoNotOptimize(solver.makespan(2 * k));
+  }
+}
+BENCHMARK(BM_DenseBackend)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_IterativeBackend(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto cfg = config(cluster::Architecture::kDistributed, k, 4.0);
+  const net::NetworkSpec spec = cluster::build_cluster(cfg);
+  core::SolverOptions opts;
+  opts.dense_threshold = 0;  // force the matrix-free sparse path
+  for (auto _ : state) {
+    core::TransientSolver solver(spec, k, opts);
+    benchmark::DoNotOptimize(solver.makespan(2 * k));
+  }
+}
+BENCHMARK(BM_IterativeBackend)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Data allocation on a distributed-storage cluster: the use case the
+// authors built on top of this model (their earlier data-allocation work).
+// Shared data is spread over the K per-node disks; the routing weight of
+// each disk follows where the data lives.  We compare allocations and do a
+// simple greedy rebalance from a skewed start.
+//
+// The key effect: the *mean* time a lone task spends on remote I/O is
+// allocation-invariant, but contention is not — skew creates a hot disk and
+// inflates the makespan, and the transient model quantifies by how much.
+
+#include <cstdio>
+#include <vector>
+
+#include "cluster/builders.h"
+#include "core/transient_solver.h"
+
+namespace {
+
+using namespace finwork;
+
+double makespan(const std::vector<double>& allocation, std::size_t k,
+                std::size_t tasks, double disk_scv) {
+  cluster::ApplicationModel app;
+  cluster::ClusterShapes shapes;
+  if (disk_scv != 1.0) {
+    shapes.remote_disk = cluster::ServiceShape::from_scv(disk_scv);
+  }
+  const net::NetworkSpec spec =
+      cluster::distributed_cluster(k, app, shapes, allocation);
+  const core::TransientSolver solver(spec, k);
+  return solver.makespan(tasks);
+}
+
+void report(const char* label, const std::vector<double>& alloc,
+            std::size_t k, std::size_t tasks, double scv) {
+  std::printf("%-28s [", label);
+  for (std::size_t i = 0; i < alloc.size(); ++i) {
+    std::printf("%s%.2f", i ? " " : "", alloc[i]);
+  }
+  std::printf("]  E(T) = %.2f\n", makespan(alloc, k, tasks, scv));
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t k = 4;
+  const std::size_t tasks = 40;
+  const double disk_scv = 4.0;  // moderately bursty disks
+
+  std::printf("distributed cluster, K=%zu, N=%zu tasks, disk C^2=%.0f\n\n", k,
+              tasks, disk_scv);
+
+  const std::vector<double> uniform(k, 1.0 / static_cast<double>(k));
+  const std::vector<double> skewed{0.70, 0.10, 0.10, 0.10};
+  const std::vector<double> mild{0.40, 0.20, 0.20, 0.20};
+  report("uniform allocation", uniform, k, tasks, disk_scv);
+  report("mildly skewed (hot node)", mild, k, tasks, disk_scv);
+  report("heavily skewed", skewed, k, tasks, disk_scv);
+
+  // Greedy rebalance: repeatedly move 5% of the hottest disk's share to the
+  // coldest disk while the makespan improves.
+  std::printf("\ngreedy rebalance from the heavily skewed allocation:\n");
+  std::vector<double> alloc = skewed;
+  double best = makespan(alloc, k, tasks, disk_scv);
+  for (int step = 0; step < 40; ++step) {
+    std::size_t hot = 0, cold = 0;
+    for (std::size_t i = 1; i < k; ++i) {
+      if (alloc[i] > alloc[hot]) hot = i;
+      if (alloc[i] < alloc[cold]) cold = i;
+    }
+    if (alloc[hot] - alloc[cold] < 0.05) break;
+    std::vector<double> trial = alloc;
+    trial[hot] -= 0.05;
+    trial[cold] += 0.05;
+    const double m = makespan(trial, k, tasks, disk_scv);
+    if (m >= best) break;
+    alloc = trial;
+    best = m;
+    std::printf("  step %2d: moved 5%% disk %zu -> %zu, E(T) = %.2f\n",
+                step + 1, hot + 1, cold + 1, best);
+  }
+  report("\nfinal allocation", alloc, k, tasks, disk_scv);
+
+  // Compare against the central architecture at the same workload.
+  cluster::ApplicationModel app;
+  cluster::ClusterShapes shapes;
+  shapes.remote_disk = cluster::ServiceShape::from_scv(disk_scv);
+  const core::TransientSolver central(
+      cluster::central_cluster(k, app, shapes), k);
+  std::printf("\ncentral storage for reference: E(T) = %.2f\n",
+              central.makespan(tasks));
+  return 0;
+}

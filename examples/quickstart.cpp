@@ -1,0 +1,67 @@
+// Quickstart: model a 30-task parallel job on a 5-workstation central
+// cluster, inspect the three performance regions, and compare the true
+// hyperexponential behavior with the exponential approximation.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "cluster/experiments.h"
+#include "core/metrics.h"
+#include "core/transient_solver.h"
+
+int main() {
+  using namespace finwork;
+
+  // 1. Describe the application: mean task time 12 (8 local + 4 remote
+  //    incl. communication), 20 compute cycles, 40% of cycles go remote.
+  cluster::ApplicationModel app;  // the paper's defaults
+  std::printf("application: E(T) per task = %.1f time units\n",
+              app.task_mean_time());
+
+  // 2. Describe the cluster: 5 workstations, central shared storage whose
+  //    service times are bursty (hyperexponential, C^2 = 10).
+  cluster::ExperimentConfig cfg;
+  cfg.architecture = cluster::Architecture::kCentral;
+  cfg.workstations = 5;
+  cfg.shapes.remote_disk = cluster::ServiceShape::hyperexponential(10.0);
+
+  // 3. Solve the transient model for a 30-task workload.
+  const net::NetworkSpec spec = cluster::build_cluster(cfg);
+  const core::TransientSolver solver(spec, cfg.workstations);
+  const core::DepartureTimeline tl = solver.solve(30);
+  const core::SteadyStateResult& ss = solver.steady_state();
+
+  std::printf("\nreduced-product state space: %zu states at level K\n",
+              solver.space().dimension(cfg.workstations));
+  std::printf("steady-state inter-departure time t_ss = %.4f\n",
+              ss.interdeparture);
+  std::printf("makespan E(T) for N=30: %.2f  (ideal lower bound %.2f)\n",
+              tl.makespan, 30.0 * app.task_mean_time() / 5.0);
+
+  // 4. Classify the operating regions (the paper's Figure 3 structure).
+  const core::RegionAnalysis ra =
+      core::classify_regions(tl, ss.interdeparture);
+  std::printf("\nregions: transient epochs [0, %zu), steady [%zu, %zu), "
+              "draining [%zu, 30)\n",
+              ra.steady_begin, ra.steady_begin, ra.drain_begin,
+              ra.drain_begin);
+  std::printf("time share: %.0f%% transient, %.0f%% steady, %.0f%% draining\n",
+              100.0 * ra.transient_fraction, 100.0 * ra.steady_fraction,
+              100.0 * ra.draining_fraction);
+
+  std::printf("\n%-6s %-12s %-10s\n", "epoch", "E[gap]", "population");
+  for (std::size_t i = 0; i < tl.epoch_times.size(); i += 5) {
+    std::printf("%-6zu %-12.4f %-10zu\n", i + 1, tl.epoch_times[i],
+                tl.population[i]);
+  }
+
+  // 5. Quantify the exponential assumption's error (the paper's E%).
+  const double err = cluster::cluster_prediction_error(cfg, 30);
+  std::printf("\nexponential-assumption error at C^2=10: %.1f%%\n", err);
+  std::printf("speedup: %.2f of an ideal %zu\n",
+              cluster::cluster_speedup(cfg, 30), cfg.workstations);
+  return 0;
+}

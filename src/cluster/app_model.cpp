@@ -1,0 +1,32 @@
+#include "cluster/app_model.h"
+
+namespace finwork::cluster {
+
+void ApplicationModel::validate() const {
+  if (local_time <= 0.0) {
+    throw std::invalid_argument("ApplicationModel: local_time must be > 0");
+  }
+  if (cpu_fraction <= 0.0 || cpu_fraction > 1.0) {
+    throw std::invalid_argument(
+        "ApplicationModel: cpu_fraction must be in (0, 1]");
+  }
+  if (remote_time <= 0.0) {
+    throw std::invalid_argument("ApplicationModel: remote_time must be > 0");
+  }
+  if (comm_factor < 0.0) {
+    throw std::invalid_argument("ApplicationModel: comm_factor must be >= 0");
+  }
+  if (mean_cycles <= 1.0) {
+    throw std::invalid_argument("ApplicationModel: mean_cycles must be > 1");
+  }
+  if (remote_share <= 0.0 || remote_share >= 1.0) {
+    throw std::invalid_argument(
+        "ApplicationModel: remote_share must be in (0, 1)");
+  }
+  if (scheduler_overhead < 0.0) {
+    throw std::invalid_argument(
+        "ApplicationModel: scheduler_overhead must be >= 0");
+  }
+}
+
+}  // namespace finwork::cluster

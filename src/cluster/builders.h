@@ -1,0 +1,72 @@
+#pragma once
+// Builders for the paper's two cluster architectures (§5.4, §5.5):
+//
+//   central:      CPU bank --> local disk bank --> shared comm --> one shared
+//                 central disk, cycle back to the CPU.
+//   distributed:  the shared data lives on K per-workstation disks instead of
+//                 one central store; the comm channel fans requests out
+//                 according to a data-allocation vector.
+//
+// CPU and local-disk are *dedicated* devices (one per workstation, a task
+// never queues for them); comm and remote storage are *shared*.  Service
+// distributions are pluggable per device class via ServiceShape so the
+// paper's Exp / Erlang / Hyperexponential sweeps are one-liners.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/app_model.h"
+#include "network/network_spec.h"
+#include "ph/fitting.h"
+
+namespace finwork::cluster {
+
+/// A service-time *shape*: given the mean, produce the distribution.
+struct ServiceShape {
+  std::function<ph::PhaseType(double mean)> make;
+  std::string label = "Exp";
+
+  [[nodiscard]] static ServiceShape exponential();
+  /// Erlang with a fixed number of stages (C^2 = 1/stages).
+  [[nodiscard]] static ServiceShape erlang(std::size_t stages);
+  /// Balanced-means two-branch hyperexponential with the given C^2 (>= 1).
+  [[nodiscard]] static ServiceShape hyperexponential(double scv);
+  /// Any C^2 > 0: dispatches to mixed Erlang / exponential / H2.
+  [[nodiscard]] static ServiceShape from_scv(double scv);
+  /// Lipsky truncated power tail with the given index and level count.
+  [[nodiscard]] static ServiceShape power_tail(double alpha,
+                                               std::size_t levels = 8);
+};
+
+/// Per-device-class shapes; defaults are all exponential.
+struct ClusterShapes {
+  ServiceShape cpu = ServiceShape::exponential();
+  ServiceShape local_disk = ServiceShape::exponential();
+  ServiceShape comm = ServiceShape::exponential();
+  ServiceShape remote_disk = ServiceShape::exponential();
+};
+
+/// Whether shared storage is a contended single server (the paper's normal
+/// case) or replicated per task (its "no contention" comparison, where the
+/// service distribution provably stops mattering for means).
+enum class Contention { kShared, kNone };
+
+/// Central-storage cluster of `workstations` nodes (paper §5.4): stations
+/// {CPU bank, local-disk bank, comm channel, central disk}.
+[[nodiscard]] net::NetworkSpec central_cluster(
+    std::size_t workstations, const ApplicationModel& app,
+    const ClusterShapes& shapes = {},
+    Contention contention = Contention::kShared);
+
+/// Distributed-storage cluster (paper §5.5): stations {CPU bank, local-disk
+/// bank, comm channel, D_1..D_K}.  `allocation[i]` is the fraction of remote
+/// requests served by node i's disk (defaults to uniform).  The remote-time
+/// total Y is preserved regardless of the allocation.
+[[nodiscard]] net::NetworkSpec distributed_cluster(
+    std::size_t workstations, const ApplicationModel& app,
+    const ClusterShapes& shapes = {},
+    const std::vector<double>& allocation = {},
+    Contention contention = Contention::kShared);
+
+}  // namespace finwork::cluster

@@ -1,0 +1,202 @@
+#include "cluster/config.h"
+
+#include <stdexcept>
+
+namespace finwork::cluster {
+
+ServiceShape parse_shape(const io::JsonValue& value) {
+  const std::string type = value.string_or("type", "exponential");
+  if (type == "exponential" || type == "exp") {
+    return ServiceShape::exponential();
+  }
+  if (type == "erlang") {
+    const auto stages = static_cast<std::size_t>(value.at("stages").as_number());
+    return ServiceShape::erlang(stages);
+  }
+  if (type == "hyperexponential" || type == "h2") {
+    return ServiceShape::hyperexponential(value.at("scv").as_number());
+  }
+  if (type == "scv") {
+    return ServiceShape::from_scv(value.at("scv").as_number());
+  }
+  if (type == "power_tail" || type == "tpt") {
+    const double alpha = value.at("alpha").as_number();
+    const auto levels =
+        static_cast<std::size_t>(value.number_or("levels", 8.0));
+    return ServiceShape::power_tail(alpha, levels);
+  }
+  throw std::invalid_argument("unknown shape type '" + type + "'");
+}
+
+ApplicationModel parse_application(const io::JsonValue& value) {
+  ApplicationModel app;
+  if (value.string_or("preset", "") == "coarse_grained") {
+    app = ApplicationModel::coarse_grained();
+  }
+  app.local_time = value.number_or("local_time", app.local_time);
+  app.cpu_fraction = value.number_or("cpu_fraction", app.cpu_fraction);
+  app.remote_time = value.number_or("remote_time", app.remote_time);
+  app.comm_factor = value.number_or("comm_factor", app.comm_factor);
+  app.mean_cycles = value.number_or("mean_cycles", app.mean_cycles);
+  app.remote_share = value.number_or("remote_share", app.remote_share);
+  app.scheduler_overhead =
+      value.number_or("scheduler_overhead", app.scheduler_overhead);
+  app.validate();
+  return app;
+}
+
+net::NetworkSpec parse_network(const io::JsonValue& value) {
+  const auto& stations_json = value.at("stations").as_array();
+  std::vector<net::Station> stations;
+  stations.reserve(stations_json.size());
+  for (const io::JsonValue& sj : stations_json) {
+    const double mean = sj.at("mean").as_number();
+    const auto mult =
+        static_cast<std::size_t>(sj.number_or("multiplicity", 1.0));
+    const ServiceShape shape = sj.contains("shape")
+                                   ? parse_shape(sj.at("shape"))
+                                   : ServiceShape::exponential();
+    stations.push_back(
+        {sj.string_or("name", "S" + std::to_string(stations.size())),
+         shape.make(mean), mult});
+  }
+  const std::size_t s = stations.size();
+
+  const auto parse_vector = [&](const std::string& key) {
+    const auto& arr = value.at(key).as_array();
+    la::Vector v(arr.size());
+    for (std::size_t i = 0; i < arr.size(); ++i) v[i] = arr[i].as_number();
+    return v;
+  };
+  la::Vector entry = parse_vector("entry");
+  la::Vector exit = parse_vector("exit");
+  const auto& rows = value.at("routing").as_array();
+  la::Matrix routing(rows.size(), s, 0.0);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto& row = rows[r].as_array();
+    if (row.size() != s) {
+      throw std::invalid_argument("routing row width mismatch");
+    }
+    for (std::size_t c = 0; c < s; ++c) routing(r, c) = row[c].as_number();
+  }
+  return net::NetworkSpec(std::move(stations), std::move(entry),
+                          std::move(routing), std::move(exit));
+}
+
+ExperimentSpec parse_experiment(const io::JsonValue& value) {
+  ExperimentSpec spec;
+  spec.tasks = static_cast<std::size_t>(value.number_or("tasks", 1.0));
+  if (spec.tasks == 0) throw std::invalid_argument("tasks must be >= 1");
+
+  if (value.contains("network")) {
+    spec.network = parse_network(value.at("network"));
+    spec.workstations =
+        static_cast<std::size_t>(value.number_or("workstations", 1.0));
+  } else {
+    ExperimentConfig cfg;
+    const std::string arch = value.string_or("architecture", "central");
+    if (arch == "central") {
+      cfg.architecture = Architecture::kCentral;
+    } else if (arch == "distributed") {
+      cfg.architecture = Architecture::kDistributed;
+    } else {
+      throw std::invalid_argument("unknown architecture '" + arch + "'");
+    }
+    cfg.workstations =
+        static_cast<std::size_t>(value.number_or("workstations", 5.0));
+    if (value.contains("application")) {
+      cfg.app = parse_application(value.at("application"));
+    }
+    if (value.contains("shapes")) {
+      const io::JsonValue& shapes = value.at("shapes");
+      if (shapes.contains("cpu")) cfg.shapes.cpu = parse_shape(shapes.at("cpu"));
+      if (shapes.contains("local_disk")) {
+        cfg.shapes.local_disk = parse_shape(shapes.at("local_disk"));
+      }
+      if (shapes.contains("comm")) {
+        cfg.shapes.comm = parse_shape(shapes.at("comm"));
+      }
+      if (shapes.contains("remote_disk")) {
+        cfg.shapes.remote_disk = parse_shape(shapes.at("remote_disk"));
+      }
+    }
+    const std::string contention = value.string_or("contention", "shared");
+    if (contention == "shared") {
+      cfg.contention = Contention::kShared;
+    } else if (contention == "none") {
+      cfg.contention = Contention::kNone;
+    } else {
+      throw std::invalid_argument("unknown contention '" + contention + "'");
+    }
+    spec.workstations = cfg.workstations;
+    spec.config = std::move(cfg);
+  }
+
+  if (value.contains("simulate")) {
+    const io::JsonValue& simj = value.at("simulate");
+    spec.replications =
+        static_cast<std::size_t>(simj.number_or("replications", 1000.0));
+    spec.seed = static_cast<std::uint64_t>(simj.number_or("seed", 1.0));
+  }
+  if (value.contains("outputs")) {
+    for (const io::JsonValue& o : value.at("outputs").as_array()) {
+      spec.outputs.push_back(o.as_string());
+    }
+  }
+  if (value.contains("sweep")) {
+    const io::JsonValue& sweep = value.at("sweep");
+    spec.sweep_parameter = sweep.at("parameter").as_string();
+    for (const io::JsonValue& v : sweep.at("values").as_array()) {
+      spec.sweep_values.push_back(v.as_number());
+    }
+    if (spec.sweep_values.empty()) {
+      throw std::invalid_argument("sweep: values must be non-empty");
+    }
+  }
+  if (spec.workstations == 0) {
+    throw std::invalid_argument("workstations must be >= 1");
+  }
+  return spec;
+}
+
+io::Table run_sweep(const ExperimentSpec& spec) {
+  if (!spec.config) {
+    throw std::invalid_argument("run_sweep: sweeps need the cluster form");
+  }
+  const std::string& param = spec.sweep_parameter;
+  io::Table table({param, "makespan", "speedup", "prediction_error_pct"});
+  for (double value : spec.sweep_values) {
+    ExperimentConfig cfg = *spec.config;
+    std::size_t tasks = spec.tasks;
+    if (param == "workstations") {
+      cfg.workstations = static_cast<std::size_t>(value);
+      if (cfg.workstations == 0) {
+        throw std::invalid_argument("run_sweep: workstations must be >= 1");
+      }
+    } else if (param == "tasks") {
+      tasks = static_cast<std::size_t>(value);
+      if (tasks == 0) {
+        throw std::invalid_argument("run_sweep: tasks must be >= 1");
+      }
+    } else if (param == "remote_scv") {
+      cfg.shapes.remote_disk = ServiceShape::from_scv(value);
+    } else if (param == "cpu_scv") {
+      cfg.shapes.cpu = ServiceShape::from_scv(value);
+    } else {
+      throw std::invalid_argument("run_sweep: unknown parameter '" + param +
+                                  "'");
+    }
+    table.add_row({value, cluster_makespan(cfg, tasks),
+                   cluster_speedup(cfg, tasks),
+                   cluster_prediction_error(cfg, tasks)});
+  }
+  return table;
+}
+
+net::NetworkSpec ExperimentSpec::build() const {
+  if (network) return *network;
+  if (config) return build_cluster(*config);
+  throw std::logic_error("ExperimentSpec: neither network nor config set");
+}
+
+}  // namespace finwork::cluster

@@ -1,0 +1,96 @@
+#pragma once
+// Experiment drivers behind the paper's Figures 3-15.  Each driver builds the
+// cluster(s), runs the transient solver and returns an io::Table whose
+// columns mirror the figure's series.  The benches are thin mains over these
+// functions, which keeps every experiment unit-testable.
+//
+// Sweeps are parallelised over the sweep points with the global thread pool
+// (each point owns its solver; no shared mutable state).
+
+#include <string>
+#include <vector>
+
+#include "cluster/builders.h"
+#include "core/transient_solver.h"
+#include "io/table.h"
+
+namespace finwork::cluster {
+
+enum class Architecture { kCentral, kDistributed };
+
+/// A fully specified cluster experiment.
+struct ExperimentConfig {
+  Architecture architecture = Architecture::kCentral;
+  std::size_t workstations = 5;
+  ApplicationModel app;
+  ClusterShapes shapes;
+  Contention contention = Contention::kShared;
+};
+
+/// Build the NetworkSpec for a config.
+[[nodiscard]] net::NetworkSpec build_cluster(const ExperimentConfig& config);
+
+/// Total mean completion time E(T) of `tasks` tasks under a config.
+[[nodiscard]] double cluster_makespan(const ExperimentConfig& config,
+                                      std::size_t tasks);
+
+/// Speedup versus serial execution: tasks * task_mean_time / E(T), where the
+/// task mean is the config's no-contention single-task time.
+[[nodiscard]] double cluster_speedup(const ExperimentConfig& config,
+                                     std::size_t tasks);
+
+/// The paper's exponential-assumption prediction error (%): compare the
+/// config against the same cluster with every service exponentialized.
+[[nodiscard]] double cluster_prediction_error(const ExperimentConfig& config,
+                                              std::size_t tasks);
+
+/// One labelled variant of a shape sweep (e.g. "Exp", "H2 C2=10").
+struct ShapeVariant {
+  std::string label;
+  ClusterShapes shapes;
+};
+
+/// Figures 3/4/10/11: per-epoch mean inter-departure times.  Columns:
+/// task order, then one column per variant.
+[[nodiscard]] io::Table interdeparture_series(const ExperimentConfig& base,
+                                              const std::vector<ShapeVariant>& variants,
+                                              std::size_t tasks);
+
+/// Figure 5: steady-state inter-departure time versus the shared remote
+/// disk's C^2, with and without contention.  Columns: C2, t_ss(contention),
+/// t_ss(no contention).
+[[nodiscard]] io::Table steady_state_vs_scv(const ExperimentConfig& base,
+                                            const std::vector<double>& scv_values);
+
+/// Figures 6/7: prediction error (%) versus the shared remote storage's C^2
+/// for several workload sizes.  Columns: C2, then E% per N.
+[[nodiscard]] io::Table prediction_error_vs_scv(
+    const ExperimentConfig& base, const std::vector<double>& scv_values,
+    const std::vector<std::size_t>& task_counts);
+
+/// Figures 8/9: speedup versus the shared remote storage's C^2.
+/// Columns: C2, then SP per N.
+[[nodiscard]] io::Table speedup_vs_scv(const ExperimentConfig& base,
+                                       const std::vector<double>& scv_values,
+                                       const std::vector<std::size_t>& task_counts);
+
+/// Figures 12/13: prediction error (%) versus the *dedicated CPU's* C^2.
+/// Columns: C2, then E% per N.
+[[nodiscard]] io::Table prediction_error_vs_cpu_scv(
+    const ExperimentConfig& base, const std::vector<double>& scv_values,
+    const std::vector<std::size_t>& task_counts);
+
+/// Figure 14: speedup versus cluster size for several workload sizes, all
+/// services exponential.  Columns: K, then SP per N.
+[[nodiscard]] io::Table speedup_vs_k(const ExperimentConfig& base,
+                                     const std::vector<std::size_t>& k_values,
+                                     const std::vector<std::size_t>& task_counts);
+
+/// Figure 15: speedup versus cluster size for several CPU service shapes at
+/// a fixed workload.  Columns: K, then SP per shape.
+[[nodiscard]] io::Table speedup_vs_k_shapes(const ExperimentConfig& base,
+                                            const std::vector<std::size_t>& k_values,
+                                            const std::vector<ShapeVariant>& variants,
+                                            std::size_t tasks);
+
+}  // namespace finwork::cluster

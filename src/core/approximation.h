@@ -1,0 +1,51 @@
+#pragma once
+// Steady-state approximations to the transient model — the approach of the
+// authors' companion work ("Transient Model for Jackson Networks and its
+// Approximation", reference [17] of the paper), built for the regime where
+// the exact epoch recursion is too expensive (very large N, or repeated
+// evaluation inside an optimizer).
+//
+// Idea: the per-epoch inter-departure times converge geometrically to t_ss,
+// so compute only the first `warmup_epochs` epochs exactly, charge the
+// remaining saturated epochs t_ss each, and drain from p_ss instead of the
+// true end-of-saturation state.  warmup_epochs = 0 degenerates to the pure
+// product-form-style estimate; warmup_epochs >= N-K+1 recovers the exact
+// solution.
+
+#include <cstddef>
+
+#include "core/transient_solver.h"
+
+namespace finwork::core {
+
+struct ApproximationOptions {
+  /// Number of leading saturated epochs computed exactly before switching
+  /// to the steady-state rate.
+  std::size_t warmup_epochs = 8;
+};
+
+/// Decomposed approximate makespan.
+struct ApproximateMakespan {
+  double makespan = 0.0;        ///< total estimate
+  double warmup_time = 0.0;     ///< exactly-computed leading epochs
+  double saturated_time = 0.0;  ///< bulk epochs charged at t_ss
+  double draining_time = 0.0;   ///< drain-out started from p_ss
+  std::size_t exact_epochs = 0; ///< how many epochs were computed exactly
+};
+
+/// Approximate E(T) for `tasks` tasks using the solver's steady state.
+/// Cost after the steady-state fixed point: O(warmup + K) operator
+/// applications, independent of N.
+[[nodiscard]] ApproximateMakespan approximate_makespan(
+    const TransientSolver& solver, std::size_t tasks,
+    const ApproximationOptions& options = {});
+
+/// Even cheaper estimate that never builds the transient machinery: the
+/// product-form cycle time for the exponentialized network bounds each
+/// saturated epoch, and draining is charged as if each departing level ran
+/// at its own product-form rate.  Exact only in the exponential,
+/// steady-dominated limit.
+[[nodiscard]] double product_form_makespan_estimate(
+    const net::NetworkSpec& spec, std::size_t workstations, std::size_t tasks);
+
+}  // namespace finwork::core

@@ -1,0 +1,73 @@
+#include "core/metrics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace finwork::core {
+
+RegionAnalysis classify_regions(const DepartureTimeline& timeline,
+                                double steady_interdeparture, double rel_tol) {
+  if (timeline.epoch_times.empty()) {
+    throw std::invalid_argument("classify_regions: empty timeline");
+  }
+  const std::size_t n = timeline.epoch_times.size();
+  RegionAnalysis ra;
+  ra.regions.resize(n);
+  ra.steady_value = steady_interdeparture;
+
+  // Draining region: population below the cluster size.
+  ra.drain_begin = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (timeline.population[i] < timeline.workstations) {
+      ra.drain_begin = i;
+      break;
+    }
+  }
+  // Steady region: first epoch from which every pre-draining epoch stays
+  // within rel_tol of t_ss.
+  ra.steady_begin = ra.drain_begin;
+  for (std::size_t i = ra.drain_begin; i-- > 0;) {
+    const double rel =
+        std::abs(timeline.epoch_times[i] - steady_interdeparture) /
+        steady_interdeparture;
+    if (rel > rel_tol) {
+      ra.steady_begin = i + 1;
+      break;
+    }
+    ra.steady_begin = i;
+  }
+
+  double t_transient = 0.0, t_steady = 0.0, t_drain = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i >= ra.drain_begin) {
+      ra.regions[i] = Region::kDraining;
+      t_drain += timeline.epoch_times[i];
+    } else if (i >= ra.steady_begin) {
+      ra.regions[i] = Region::kSteadyState;
+      t_steady += timeline.epoch_times[i];
+    } else {
+      ra.regions[i] = Region::kTransient;
+      t_transient += timeline.epoch_times[i];
+    }
+  }
+  const double total = timeline.makespan > 0.0 ? timeline.makespan : 1.0;
+  ra.transient_fraction = t_transient / total;
+  ra.steady_fraction = t_steady / total;
+  ra.draining_fraction = t_drain / total;
+  return ra;
+}
+
+double prediction_error_percent(double actual_makespan,
+                                double exponential_makespan) {
+  if (actual_makespan <= 0.0) {
+    throw std::invalid_argument("prediction_error_percent: bad makespan");
+  }
+  return (actual_makespan - exponential_makespan) / actual_makespan * 100.0;
+}
+
+double speedup(std::size_t tasks, double mean_task_time, double makespan) {
+  if (makespan <= 0.0) throw std::invalid_argument("speedup: bad makespan");
+  return static_cast<double>(tasks) * mean_task_time / makespan;
+}
+
+}  // namespace finwork::core

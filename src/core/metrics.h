@@ -1,0 +1,47 @@
+#pragma once
+// Performance metrics built on the transient solver's output: the paper's
+// operating-region diagnostics (transient / steady-state / draining), the
+// exponential-assumption prediction error, and speedup.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/transient_solver.h"
+
+namespace finwork::core {
+
+/// Which operating region an epoch belongs to (paper Figures 3, 4, 10, 11).
+enum class Region { kTransient, kSteadyState, kDraining };
+
+/// Per-epoch region classification plus summary boundaries.
+struct RegionAnalysis {
+  std::vector<Region> regions;   ///< one entry per epoch
+  std::size_t steady_begin = 0;  ///< first epoch within tolerance of t_ss
+  std::size_t drain_begin = 0;   ///< first epoch with population < K
+  double steady_value = 0.0;     ///< t_ss used for classification
+  /// Fraction of the makespan spent in each region.
+  double transient_fraction = 0.0;
+  double steady_fraction = 0.0;
+  double draining_fraction = 0.0;
+};
+
+/// Classify each epoch: draining when the population has dropped below K;
+/// steady once the inter-departure time stays within `rel_tol` of t_ss;
+/// transient before that.
+[[nodiscard]] RegionAnalysis classify_regions(const DepartureTimeline& timeline,
+                                              double steady_interdeparture,
+                                              double rel_tol = 0.02);
+
+/// The paper's percentage prediction error:
+/// E% = (E(T_act) - E(T_exp)) / E(T_act) * 100.
+[[nodiscard]] double prediction_error_percent(double actual_makespan,
+                                              double exponential_makespan);
+
+/// Speedup of running `tasks` tasks on the modeled cluster versus running
+/// them one at a time: SP = tasks * mean_task_time / makespan.
+/// `mean_task_time` is the no-contention mean time of a single task
+/// (NetworkSpec::single_customer().mean_task_time).
+[[nodiscard]] double speedup(std::size_t tasks, double mean_task_time,
+                             double makespan);
+
+}  // namespace finwork::core

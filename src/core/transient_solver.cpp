@@ -1,0 +1,535 @@
+#include "core/transient_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/iterative.h"
+
+namespace finwork::core {
+
+TransientSolver::TransientSolver(const net::NetworkSpec& spec,
+                                 std::size_t workstations,
+                                 SolverOptions options)
+    : space_(spec, workstations), k_(workstations), opts_(options) {
+  // Fail fast on networks whose first-passage times diverge.
+  spec.validate_connectivity();
+  levels_.resize(k_ + 1);
+}
+
+const TransientSolver::Level& TransientSolver::prepared_level(
+    std::size_t k) const {
+  if (k == 0 || k > k_) throw std::out_of_range("TransientSolver: bad level");
+  Level& lvl = levels_[k];
+  if (lvl.prepared) return lvl;
+  const net::LevelMatrices& lm = space_.level(k);
+  const std::size_t d = space_.dimension(k);
+  if (d <= opts_.dense_threshold) {
+    la::Matrix a = lm.p.to_dense();
+    a *= -1.0;
+    for (std::size_t i = 0; i < d; ++i) a(i, i) += 1.0;
+    lvl.lu.emplace(a);
+  }
+  // tau'_k = (I - P_k)^-1 (M_k^-1 eps)
+  la::Vector rhs(d);
+  for (std::size_t i = 0; i < d; ++i) rhs[i] = 1.0 / lm.event_rates[i];
+  lvl.prepared = true;  // set before solve_right so it can use lvl.lu
+  lvl.tau = solve_right(k, rhs);
+  return lvl;
+}
+
+la::Vector TransientSolver::solve_left(std::size_t k,
+                                       const la::Vector& pi) const {
+  const Level& lvl = prepared_level(k);
+  if (lvl.lu) return lvl.lu->solve_left(pi);
+  const net::LevelMatrices& lm = space_.level(k);
+  const auto apply_p = [&lm](const la::Vector& x) { return lm.p.apply_left(x); };
+  la::IterativeResult res = la::neumann_solve_left(
+      apply_p, pi, opts_.tolerance, opts_.max_neumann_iterations);
+  if (res.converged) return std::move(res.x);
+  const auto apply_a = [&lm](const la::Vector& x) {
+    la::Vector y = x;
+    y -= lm.p.apply_left(x);
+    return y;
+  };
+  res = la::bicgstab_left(apply_a, pi, opts_.tolerance,
+                          opts_.max_bicgstab_iterations);
+  if (!res.converged) {
+    throw std::runtime_error(
+        "TransientSolver: iterative solve failed to converge at level " +
+        std::to_string(k));
+  }
+  return std::move(res.x);
+}
+
+la::Vector TransientSolver::solve_right(std::size_t k,
+                                        const la::Vector& b) const {
+  const Level& lvl = prepared_level(k);
+  if (lvl.lu) return lvl.lu->solve(b);
+  const net::LevelMatrices& lm = space_.level(k);
+  // Column solve: (I - P) x = b via the Neumann series x = sum P^n b.
+  la::Vector x = b;
+  la::Vector term = b;
+  for (std::size_t n = 1; n <= opts_.max_neumann_iterations; ++n) {
+    term = lm.p.apply(term);
+    x += term;
+    if (term.norm_inf() < opts_.tolerance) return x;
+  }
+  // Fall back to BiCGSTAB on the transposed system: (I - P)^T y = ... not
+  // needed; run BiCGSTAB with the column action expressed as a row action on
+  // the transpose.  CSR supports both actions, so wire it directly.
+  const auto apply_at = [&lm](const la::Vector& v) {
+    la::Vector y = v;
+    y -= lm.p.apply(v);
+    return y;
+  };
+  la::IterativeResult res = la::bicgstab_left(apply_at, b, opts_.tolerance,
+                                              opts_.max_bicgstab_iterations);
+  if (!res.converged) {
+    throw std::runtime_error(
+        "TransientSolver: column solve failed to converge at level " +
+        std::to_string(k));
+  }
+  return std::move(res.x);
+}
+
+const la::Vector& TransientSolver::tau(std::size_t k) const {
+  return prepared_level(k).tau;
+}
+
+la::Vector TransientSolver::apply_y(std::size_t k, const la::Vector& pi) const {
+  const net::LevelMatrices& lm = space_.level(k);
+  return lm.q.apply_left(solve_left(k, pi));
+}
+
+la::Vector TransientSolver::apply_r(std::size_t k, const la::Vector& pi) const {
+  return space_.level(k).r.apply_left(pi);
+}
+
+double TransientSolver::mean_epoch_time(std::size_t k,
+                                        const la::Vector& pi) const {
+  return la::dot(pi, tau(k));
+}
+
+double TransientSolver::epoch_second_moment(std::size_t k,
+                                            const la::Vector& pi) const {
+  // E[T^2 | pi] = 2 pi V_k^2 eps = 2 pi V_k tau'_k; one extra column solve.
+  const net::LevelMatrices& lm = space_.level(k);
+  la::Vector rhs = tau(k);
+  for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] /= lm.event_rates[i];
+  return 2.0 * la::dot(pi, solve_right(k, rhs));
+}
+
+double TransientSolver::epoch_reliability(std::size_t k, const la::Vector& pi,
+                                          double t) const {
+  if (t < 0.0) {
+    throw std::invalid_argument("epoch_reliability: t must be >= 0");
+  }
+  if (t == 0.0) return pi.sum();
+  // Uniformization of the level generator A = -B_k = -M_k (I - P_k):
+  // with q >= max rate, Pu = I + A/q acts on a row vector v as
+  //   v Pu = v - (v .* M)/q + ((v .* M) P)/q.
+  const net::LevelMatrices& lm = space_.level(k);
+  double q = 0.0;
+  for (std::size_t i = 0; i < lm.event_rates.size(); ++i) {
+    q = std::max(q, lm.event_rates[i]);
+  }
+  q *= 1.0001;
+  const double qt = q * t;
+  auto step = [&](const la::Vector& v) {
+    la::Vector scaled = v;
+    for (std::size_t i = 0; i < scaled.size(); ++i) {
+      scaled[i] *= lm.event_rates[i];
+    }
+    la::Vector y = lm.p.apply_left(scaled);
+    y -= scaled;
+    y /= q;
+    y += v;
+    return y;
+  };
+  la::Vector term = pi;
+  double weight = std::exp(-qt);
+  double acc = weight * term.sum();
+  double cumulative = weight;
+  const std::size_t max_iter =
+      static_cast<std::size_t>(qt + 12.0 * std::sqrt(qt) + 64.0);
+  for (std::size_t n = 1; n <= max_iter; ++n) {
+    term = step(term);
+    weight *= qt / static_cast<double>(n);
+    acc += weight * term.sum();
+    cumulative += weight;
+    if ((1.0 - cumulative) * term.norm_inf() < 1e-14 &&
+        static_cast<double>(n) > qt) {
+      break;
+    }
+  }
+  return std::min(1.0, std::max(0.0, acc));
+}
+
+la::Vector TransientSolver::initial_vector() const {
+  return space_.initial_vector(k_);
+}
+
+DepartureTimeline TransientSolver::solve(std::size_t tasks) const {
+  if (tasks == 0) {
+    throw std::invalid_argument("TransientSolver::solve: need >= 1 task");
+  }
+  DepartureTimeline tl;
+  tl.workstations = k_;
+  tl.tasks = tasks;
+  tl.epoch_times.reserve(tasks);
+  tl.population.reserve(tasks);
+
+  const std::size_t top = std::min(tasks, k_);
+  la::Vector pi = space_.initial_vector(top);
+
+  // Saturated phase: population pinned at `top`, departures replaced from the
+  // queue.  Runs for (tasks - top + 1) epochs; after each but the last, the
+  // departure (Y) is followed by a replacement (R).
+  const std::size_t saturated_epochs = tasks - top + 1;
+  for (std::size_t i = 0; i < saturated_epochs; ++i) {
+    tl.epoch_times.push_back(mean_epoch_time(top, pi));
+    tl.population.push_back(top);
+    if (i + 1 < saturated_epochs) {
+      pi = apply_r(top, apply_y(top, pi));
+    }
+  }
+  // Draining phase: population falls top-1, top-2, ..., 1.
+  if (top > 1) {
+    pi = apply_y(top, pi);
+    for (std::size_t k = top - 1; k >= 1; --k) {
+      tl.epoch_times.push_back(mean_epoch_time(k, pi));
+      tl.population.push_back(k);
+      if (k > 1) pi = apply_y(k, pi);
+    }
+  }
+
+  tl.cumulative.resize(tl.epoch_times.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < tl.epoch_times.size(); ++i) {
+    acc += tl.epoch_times[i];
+    tl.cumulative[i] = acc;
+  }
+  tl.makespan = acc;
+  return tl;
+}
+
+double TransientSolver::makespan(std::size_t tasks) const {
+  return solve(tasks).makespan;
+}
+
+MakespanMoments TransientSolver::makespan_moments(std::size_t tasks) const {
+  if (tasks == 0) {
+    throw std::invalid_argument("makespan_moments: need >= 1 task");
+  }
+  // The whole run is one absorbing chain whose blocks are the saturated
+  // segments (level K, one per admission remaining) followed by the
+  // draining levels K-1..1.  With B the full service-rate matrix,
+  //   m1 = B^-1 eps   (remaining mean time per state)
+  //   m2 = 2 B^-2 eps = 2 B^-1 m1,
+  // and the block bidiagonal structure lets both be back-substituted one
+  // block at a time using the cached per-level factorizations:
+  //   m1_b = tau_b + (I-P)^-1 Q [R] m1_next
+  //   x_b  = V_b m1_b + (I-P)^-1 Q [R] x_next,   m2 = 2 x.
+  const std::size_t top = std::min(tasks, k_);
+
+  // Column-oriented helpers.
+  const auto v_apply = [&](std::size_t k, const la::Vector& m) {
+    const net::LevelMatrices& lm = space_.level(k);
+    la::Vector rhs = m;
+    for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] /= lm.event_rates[i];
+    return solve_right(k, rhs);
+  };
+  const auto flow_apply = [&](std::size_t k, const la::Vector& next) {
+    // (I - P_k)^-1 Q_k next  (next lives one level down)
+    return solve_right(k, space_.level(k).q.apply(next));
+  };
+
+  // Draining levels 1..top-1 (remaining time after the queue has emptied).
+  la::Vector m1_next(1, 0.0);  // level 0: absorbed, zero remaining time
+  la::Vector x_next(1, 0.0);
+  for (std::size_t k = 1; k < top; ++k) {
+    la::Vector m1 = tau(k) + flow_apply(k, m1_next);
+    la::Vector x = v_apply(k, m1) + flow_apply(k, x_next);
+    m1_next = std::move(m1);
+    x_next = std::move(x);
+  }
+
+  // Saturated segments: j admissions remaining, j = 0 .. tasks - top.
+  const net::LevelMatrices& lt = space_.level(top);
+  la::Vector m1 = tau(top) + flow_apply(top, m1_next);
+  la::Vector x = v_apply(top, m1) + flow_apply(top, x_next);
+  for (std::size_t j = 1; j <= tasks - top; ++j) {
+    const la::Vector rm1 = lt.r.apply(m1);   // R_K m1 (column action)
+    const la::Vector rx = lt.r.apply(x);
+    la::Vector m1_new = tau(top) + solve_right(top, lt.q.apply(rm1));
+    la::Vector x_new = v_apply(top, m1_new) + solve_right(top, lt.q.apply(rx));
+    m1 = std::move(m1_new);
+    x = std::move(x_new);
+  }
+
+  const la::Vector p0 = space_.initial_vector(top);
+  MakespanMoments mm;
+  mm.mean = la::dot(p0, m1);
+  mm.second_moment = 2.0 * la::dot(p0, x);
+  mm.variance = mm.second_moment - mm.mean * mm.mean;
+  mm.std_dev = std::sqrt(std::max(0.0, mm.variance));
+  mm.scv = mm.variance / (mm.mean * mm.mean);
+  return mm;
+}
+
+std::vector<double> TransientSolver::makespan_cdf(
+    std::size_t tasks, const std::vector<double>& times) const {
+  if (tasks == 0) {
+    throw std::invalid_argument("makespan_cdf: need >= 1 task");
+  }
+  for (double t : times) {
+    if (t < 0.0) throw std::invalid_argument("makespan_cdf: negative time");
+  }
+  if (times.empty()) return {};
+  const std::size_t top = std::min(tasks, k_);
+
+  // Layered blocks: saturated segments with j admissions remaining
+  // (j = tasks - top .. 0), then draining levels top-1 .. 1.  Block b's
+  // dynamics are its level's (M, P); a departure feeds block b+1 (with the
+  // R_top re-entry while saturated); level 1 departures absorb.
+  struct Block {
+    std::size_t level;
+    bool replace;  // departure re-admits a task (saturated, j > 0)
+  };
+  std::vector<Block> blocks;
+  for (std::size_t j = tasks - top; j > 0; --j) blocks.push_back({top, true});
+  blocks.push_back({top, false});
+  for (std::size_t level = top - 1; level >= 1; --level) {
+    blocks.push_back({level, false});
+  }
+
+  // Uniformization rate: the fastest event rate across all levels.
+  double q = 0.0;
+  for (std::size_t level = 1; level <= top; ++level) {
+    const net::LevelMatrices& lm = space_.level(level);
+    for (std::size_t i = 0; i < lm.event_rates.size(); ++i) {
+      q = std::max(q, lm.event_rates[i]);
+    }
+  }
+  q *= 1.0001;
+
+  const double t_max = *std::max_element(times.begin(), times.end());
+  const double qt_max = q * t_max;
+  const auto n_max = static_cast<std::size_t>(
+      qt_max + 12.0 * std::sqrt(qt_max + 1.0) + 64.0);
+
+  // DTMC pass: track per-block row vectors and record the absorbed mass
+  // after each uniformized step.
+  std::vector<la::Vector> state(blocks.size());
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    state[b] = la::Vector(space_.dimension(blocks[b].level), 0.0);
+  }
+  state[0] = space_.initial_vector(top);
+  double absorbed = 0.0;
+  std::vector<double> absorbed_after{absorbed};  // a_0
+  absorbed_after.reserve(n_max + 1);
+
+  std::vector<la::Vector> next(blocks.size());
+  for (std::size_t step = 1; step <= n_max; ++step) {
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      const net::LevelMatrices& lm = space_.level(blocks[b].level);
+      // v - (v .* M)/q + ((v .* M) P)/q
+      la::Vector scaled = state[b];
+      for (std::size_t i = 0; i < scaled.size(); ++i) {
+        scaled[i] *= lm.event_rates[i] / q;
+      }
+      la::Vector nb = lm.p.apply_left(scaled);
+      nb -= scaled;
+      nb += state[b];
+      // departures leave the block
+      la::Vector out = lm.q.apply_left(scaled);
+      if (b + 1 < blocks.size()) {
+        la::Vector& target = next[b + 1];
+        if (blocks[b].replace) {
+          // re-admission: back up to level `top`
+          la::Vector in = space_.level(top).r.apply_left(out);
+          if (target.size() == 0) target = la::Vector(in.size(), 0.0);
+          target += in;
+        } else {
+          if (target.size() == 0) target = la::Vector(out.size(), 0.0);
+          target += out;
+        }
+      } else {
+        absorbed += out.sum();
+      }
+      if (next[b].size() == 0) next[b] = la::Vector(nb.size(), 0.0);
+      next[b] += nb;
+    }
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      state[b] = std::move(next[b]);
+      next[b] = la::Vector();
+    }
+    absorbed_after.push_back(absorbed);
+    if (1.0 - absorbed < 1e-13) {
+      // effectively done: later steps keep the same absorbed mass
+      break;
+    }
+  }
+
+  // Evaluate each time point: F(t) = sum_n Poisson(n; qt) a_n, with the
+  // tail beyond the recorded steps charged at the final absorbed level.
+  // The Poisson weights are expanded outward from the mode in log space —
+  // exp(-qt) underflows for qt beyond ~745, so the naive recurrence from
+  // n = 0 silently drops all the mass for long horizons.
+  const auto a_of = [&](std::size_t n) {
+    return n < absorbed_after.size() ? absorbed_after[n]
+                                     : absorbed_after.back();
+  };
+  std::vector<double> result(times.size());
+  for (std::size_t ti = 0; ti < times.size(); ++ti) {
+    const double t = times[ti];
+    if (t == 0.0) {
+      result[ti] = 0.0;
+      continue;
+    }
+    const double qt = q * t;
+    const auto mode = static_cast<std::size_t>(qt);
+    const double log_w_mode = static_cast<double>(mode) * std::log(qt) - qt -
+                              std::lgamma(static_cast<double>(mode) + 1.0);
+    double total = 0.0;
+    double mass = 0.0;
+    // Upward from the mode.
+    double w = std::exp(log_w_mode);
+    for (std::size_t n = mode;; ++n) {
+      total += w * a_of(n);
+      mass += w;
+      w *= qt / static_cast<double>(n + 1);
+      if (w < 1e-17 && static_cast<double>(n) > qt) break;
+    }
+    // Downward from the mode.
+    w = std::exp(log_w_mode);
+    for (std::size_t n = mode; n-- > 0;) {
+      w *= static_cast<double>(n + 1) / qt;
+      total += w * a_of(n);
+      mass += w;
+      if (w < 1e-17) break;
+    }
+    // Residual Poisson mass lies in the far upper tail where a_n has
+    // flattened at its final level.
+    total += std::max(0.0, 1.0 - mass) * absorbed_after.back();
+    result[ti] = std::min(1.0, std::max(0.0, total));
+  }
+  return result;
+}
+
+double TransientSolver::makespan_cdf(std::size_t tasks, double time) const {
+  return makespan_cdf(tasks, std::vector<double>{time})[0];
+}
+
+std::vector<TransientSolver::StationOccupancy>
+TransientSolver::station_occupancy(std::size_t k, const la::Vector& pi) const {
+  if (k == 0 || k > k_) {
+    throw std::out_of_range("station_occupancy: bad level");
+  }
+  if (pi.size() != space_.dimension(k)) {
+    throw std::invalid_argument("station_occupancy: size mismatch");
+  }
+  const std::size_t s = space_.num_stations();
+  std::vector<StationOccupancy> occ(s);
+  const auto& states = space_.states(k);
+  for (std::size_t is = 0; is < states.size(); ++is) {
+    const double w = pi[is];
+    if (w == 0.0) continue;
+    for (std::size_t j = 0; j < s; ++j) {
+      const net::StationModel& model = space_.model(j);
+      const auto [n, local] = model.decode(states[is][j]);
+      occ[j].mean_customers += w * static_cast<double>(n);
+      const auto counts = model.phase_counts(n, local);
+      std::size_t busy = 0;
+      for (std::size_t c : counts) busy += c;
+      occ[j].mean_in_service += w * static_cast<double>(busy);
+    }
+  }
+  for (std::size_t j = 0; j < s; ++j) {
+    occ[j].utilization =
+        occ[j].mean_in_service /
+        static_cast<double>(space_.spec().station(j).multiplicity);
+  }
+  return occ;
+}
+
+TransientSolver::DepartureCorrelation TransientSolver::steady_state_lag1()
+    const {
+  // With U_ij = E[T1 ; next-epoch start = j] = (V Y R)_ij (from
+  // int t e^{-Bt} dt = B^-2 and Y = V M Q), the joint mean is
+  // E[T1 T2] = p_ss V Y R tau'.  All factors act column-wise on tau'.
+  const SteadyStateResult& ss = steady_state();
+  const net::LevelMatrices& lm = space_.level(k_);
+  // z = R tau'
+  const la::Vector z = lm.r.apply(tau(k_));
+  // w = Y z = (I - P)^-1 Q z
+  const la::Vector w = solve_right(k_, lm.q.apply(z));
+  // u = V w = (I - P)^-1 M^-1 w
+  la::Vector rhs = w;
+  for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] /= lm.event_rates[i];
+  const la::Vector u = solve_right(k_, rhs);
+
+  DepartureCorrelation dc;
+  const double joint = la::dot(ss.distribution, u);
+  dc.covariance = joint - ss.interdeparture * ss.interdeparture;
+  const double variance =
+      ss.interdeparture_scv * ss.interdeparture * ss.interdeparture;
+  dc.correlation = variance > 0.0 ? dc.covariance / variance : 0.0;
+  return dc;
+}
+
+const la::Vector& TransientSolver::time_stationary_distribution() const {
+  if (time_stationary_) return *time_stationary_;
+  // The saturated CTMC has off-diagonal rate matrix M (P + Q R).  With
+  // z = pi .* M, stationarity reads z (P + Q R) = z: find z by (damped)
+  // power iteration, then unscale by the rates and normalize.
+  const net::LevelMatrices& lm = space_.level(k_);
+  const auto apply_jump = [&](const la::Vector& z) {
+    la::Vector next = lm.p.apply_left(z);
+    next += lm.r.apply_left(lm.q.apply_left(z));
+    next += z;
+    next *= 0.5;
+    return next;
+  };
+  const la::IterativeResult res = la::power_iteration_left(
+      apply_jump, initial_vector(), opts_.tolerance, opts_.max_power_iterations);
+  if (!res.converged) {
+    throw std::runtime_error(
+        "time_stationary_distribution: power iteration failed to converge");
+  }
+  la::Vector pi = res.x;
+  for (std::size_t i = 0; i < pi.size(); ++i) pi[i] /= lm.event_rates[i];
+  pi /= pi.sum();
+  time_stationary_ = std::move(pi);
+  return *time_stationary_;
+}
+
+const SteadyStateResult& TransientSolver::steady_state() const {
+  if (steady_) return *steady_;
+  // Fixed point of T = Y_K R_K, damped to (T + I)/2 to kill any period-2
+  // component of the power iteration.
+  const auto apply_t = [this](const la::Vector& pi) {
+    la::Vector next = apply_r(k_, apply_y(k_, pi));
+    next += pi;
+    next *= 0.5;
+    return next;
+  };
+  const la::Vector start = initial_vector();
+  const la::IterativeResult res = la::power_iteration_left(
+      apply_t, start, opts_.tolerance, opts_.max_power_iterations);
+  SteadyStateResult ss;
+  ss.distribution = res.x;
+  ss.interdeparture = mean_epoch_time(k_, ss.distribution);
+  ss.throughput = 1.0 / ss.interdeparture;
+  const double m2 = epoch_second_moment(k_, ss.distribution);
+  ss.interdeparture_scv =
+      (m2 - ss.interdeparture * ss.interdeparture) /
+      (ss.interdeparture * ss.interdeparture);
+  ss.iterations = res.iterations;
+  ss.converged = res.converged;
+  steady_ = std::move(ss);
+  return *steady_;
+}
+
+}  // namespace finwork::core

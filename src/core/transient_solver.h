@@ -1,0 +1,184 @@
+#pragma once
+// The paper's transient model: mean inter-departure times and makespan of a
+// finite workload of N iid tasks on a closed network holding at most K of
+// them, plus the steady-state limit p_ss Y_K R_K = p_ss.
+//
+// Everything is computed through *actions* on row vectors — Y_k and V_k are
+// never formed:
+//     pi Y_k   = (pi (I - P_k)^-1) Q_k
+//     pi tau'_k with tau'_k = (I - P_k)^-1 (M_k^-1 eps)
+// Small levels use a cached dense LU of (I - P_k); large levels fall back to
+// matrix-free iterative solves on the CSR P_k (Neumann series, then BiCGSTAB
+// if the series converges too slowly).
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "linalg/lu.h"
+#include "linalg/matrix.h"
+#include "network/state_space.h"
+
+namespace finwork::core {
+
+struct SolverOptions {
+  /// Use a dense LU of (I - P_k) when D(k) is at most this; iterative above.
+  std::size_t dense_threshold = 3000;
+  /// Relative tolerance for iterative solves and the steady-state iteration.
+  double tolerance = 1e-12;
+  /// Iteration caps for the iterative paths.
+  std::size_t max_neumann_iterations = 20000;
+  std::size_t max_bicgstab_iterations = 20000;
+  std::size_t max_power_iterations = 100000;
+};
+
+/// Per-epoch output of the transient model.
+struct DepartureTimeline {
+  /// Mean inter-departure time of each epoch, epoch_times[i] = E[t_{i+1} - t_i]
+  /// (size N; the first entry is the mean time to the first departure).
+  std::vector<double> epoch_times;
+  /// Cumulative mean departure instants (size N).
+  std::vector<double> cumulative;
+  /// Population in the system during each epoch (size N).
+  std::vector<std::size_t> population;
+  /// Total mean completion time E(T) of all N tasks.
+  double makespan = 0.0;
+  std::size_t workstations = 0;
+  std::size_t tasks = 0;
+};
+
+/// First two moments of the total completion time (extension beyond the
+/// paper, which reports means only).
+struct MakespanMoments {
+  double mean = 0.0;
+  double second_moment = 0.0;
+  double variance = 0.0;
+  double std_dev = 0.0;
+  double scv = 0.0;  ///< squared coefficient of variation of the makespan
+};
+
+/// Steady-state (infinite-backlog) limit of the departure process.
+struct SteadyStateResult {
+  la::Vector distribution;      ///< p_ss over Xi_K (embedded, at departures)
+  double interdeparture = 0.0;  ///< t_ss = p_ss tau'_K
+  double throughput = 0.0;      ///< 1 / t_ss
+  /// Squared coefficient of variation of a steady-state inter-departure
+  /// gap started from p_ss — the burstiness of the output process
+  /// (extension; 1 would be a Poisson-like output).
+  double interdeparture_scv = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Transient solver over a network's reduced-product state space.
+class TransientSolver {
+ public:
+  /// `workstations` is K: the number of tasks held in service concurrently.
+  TransientSolver(const net::NetworkSpec& spec, std::size_t workstations,
+                  SolverOptions options = {});
+
+  [[nodiscard]] const net::StateSpace& space() const noexcept { return space_; }
+  [[nodiscard]] std::size_t workstations() const noexcept { return k_; }
+  [[nodiscard]] const SolverOptions& options() const noexcept { return opts_; }
+
+  /// tau'_k: mean time to the next system departure from each state of Xi_k.
+  [[nodiscard]] const la::Vector& tau(std::size_t k) const;
+  /// Action of the departure operator: pi over Xi_k -> pi Y_k over Xi_{k-1}.
+  /// Probability mass is preserved (Y_k is stochastic).
+  [[nodiscard]] la::Vector apply_y(std::size_t k, const la::Vector& pi) const;
+  /// Action of the entrance operator: pi over Xi_{k-1} -> pi R_k over Xi_k.
+  [[nodiscard]] la::Vector apply_r(std::size_t k, const la::Vector& pi) const;
+  /// Mean time to the next departure from mixed state pi at level k.
+  [[nodiscard]] double mean_epoch_time(std::size_t k, const la::Vector& pi) const;
+  /// Second raw moment of the time to the next departure: 2 pi V_k^2 eps.
+  [[nodiscard]] double epoch_second_moment(std::size_t k,
+                                           const la::Vector& pi) const;
+  /// P(next departure later than t | state pi): pi exp(-t B_k) eps,
+  /// computed by uniformization on the level's sparse matrices.
+  [[nodiscard]] double epoch_reliability(std::size_t k, const la::Vector& pi,
+                                         double t) const;
+
+  /// The paper's p_K: state distribution after the initial fill.
+  [[nodiscard]] la::Vector initial_vector() const;
+
+  /// Full transient solution for a workload of `tasks` (N >= 1).  When
+  /// N < K only N tasks ever coexist, matching the paper's remark that such
+  /// jobs run on an N-sized cluster.
+  [[nodiscard]] DepartureTimeline solve(std::size_t tasks) const;
+
+  /// Mean makespan E(T) only (same recursion, no per-epoch storage).
+  [[nodiscard]] double makespan(std::size_t tasks) const;
+
+  /// Mean AND variance of the makespan, treating the whole finite-workload
+  /// process as one absorbing chain and back-substituting its block
+  /// bidiagonal structure (extension; see DESIGN.md).  The mean coincides
+  /// with solve(tasks).makespan to solver precision.
+  [[nodiscard]] MakespanMoments makespan_moments(std::size_t tasks) const;
+
+  /// Full distribution of the makespan: P(T <= t) for each requested time,
+  /// by uniformization of the layered absorbing chain (extension).  One
+  /// discrete pass covers all time points; `times` need not be sorted.
+  /// Accuracy ~1e-10 plus uniformization truncation at the largest time.
+  [[nodiscard]] std::vector<double> makespan_cdf(
+      std::size_t tasks, const std::vector<double>& times) const;
+  /// Single-point convenience overload.
+  [[nodiscard]] double makespan_cdf(std::size_t tasks, double time) const;
+
+  /// Expected customers present and in service at each station under the
+  /// mixed state `pi` over Xi_k.  With the steady-state distribution this
+  /// yields the utilizations/queue lengths the product-form solvers report
+  /// (exactly equal for exponential networks; tested).
+  struct StationOccupancy {
+    double mean_customers = 0.0;  ///< E[n_j]
+    double mean_in_service = 0.0; ///< E[busy servers at j]
+    double utilization = 0.0;     ///< mean_in_service / multiplicity
+  };
+  [[nodiscard]] std::vector<StationOccupancy> station_occupancy(
+      std::size_t k, const la::Vector& pi) const;
+
+  /// Steady-state departure process: fixed point of Y_K R_K.  Note that
+  /// `distribution` is the state seen at *departure epochs* (the embedded
+  /// chain), which is what the epoch recursion needs.
+  [[nodiscard]] const SteadyStateResult& steady_state() const;
+
+  /// Lag-1 autocovariance and correlation of successive steady-state
+  /// inter-departure gaps: E[T1 T2] = p_ss V_K Y_K R_K tau'_K (extension).
+  /// Zero for memoryless outputs (e.g. a saturated exponential server);
+  /// positive when a slow shared device makes consecutive gaps drag.
+  struct DepartureCorrelation {
+    double covariance = 0.0;
+    double correlation = 0.0;  ///< covariance / variance of a gap
+  };
+  [[nodiscard]] DepartureCorrelation steady_state_lag1() const;
+
+  /// Time-stationary distribution of the saturated system (level K with
+  /// instant replacement): what an outside observer sees at a random time.
+  /// Differs from steady_state().distribution because departures are not
+  /// Poisson; use THIS with station_occupancy for time-averaged queue
+  /// lengths and utilizations (it reproduces the product-form marginals
+  /// exactly for exponential networks — tested).
+  [[nodiscard]] const la::Vector& time_stationary_distribution() const;
+
+ private:
+  struct Level {
+    std::optional<la::LuDecomposition> lu;  // dense LU of (I - P_k)
+    la::Vector tau;
+    bool prepared = false;
+  };
+
+  const Level& prepared_level(std::size_t k) const;
+  /// x = pi (I - P_k)^-1 (row solve).
+  [[nodiscard]] la::Vector solve_left(std::size_t k, const la::Vector& pi) const;
+  /// x = (I - P_k)^-1 b (column solve).
+  [[nodiscard]] la::Vector solve_right(std::size_t k, const la::Vector& b) const;
+
+  net::StateSpace space_;
+  std::size_t k_;
+  SolverOptions opts_;
+  mutable std::vector<Level> levels_;
+  mutable std::optional<SteadyStateResult> steady_;
+  mutable std::optional<la::Vector> time_stationary_;
+};
+
+}  // namespace finwork::core

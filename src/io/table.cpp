@@ -1,0 +1,86 @@
+#include "io/table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace finwork::io {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("Table: need at least one column");
+  }
+}
+
+void Table::add_row(const std::vector<double>& values) {
+  if (values.size() != headers_.size()) {
+    throw std::invalid_argument("Table: row width mismatch");
+  }
+  data_.insert(data_.end(), values.begin(), values.end());
+  ++rows_;
+}
+
+double Table::at(std::size_t row, std::size_t col) const {
+  if (row >= rows_ || col >= headers_.size()) {
+    throw std::out_of_range("Table: index out of range");
+  }
+  return data_[row * headers_.size() + col];
+}
+
+void Table::print(std::ostream& os, int precision) const {
+  const std::size_t ncol = headers_.size();
+  std::vector<std::size_t> width(ncol);
+  std::vector<std::vector<std::string>> cells(rows_);
+  for (std::size_t c = 0; c < ncol; ++c) width[c] = headers_[c].size();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    cells[r].resize(ncol);
+    for (std::size_t c = 0; c < ncol; ++c) {
+      std::ostringstream ss;
+      ss << std::fixed << std::setprecision(precision) << at(r, c);
+      cells[r][c] = ss.str();
+      width[c] = std::max(width[c], cells[r][c].size());
+    }
+  }
+  for (std::size_t c = 0; c < ncol; ++c) {
+    os << std::setw(static_cast<int>(width[c]) + 2) << headers_[c];
+  }
+  os << '\n';
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < ncol; ++c) {
+      os << std::setw(static_cast<int>(width[c]) + 2) << cells[r][c];
+    }
+    os << '\n';
+  }
+}
+
+void Table::print_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    os << headers_[c];
+  }
+  os << '\n';
+  os << std::setprecision(17);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c) os << ',';
+      os << at(r, c);
+    }
+    os << '\n';
+  }
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Table: cannot open " + path);
+  print_csv(out);
+  if (!out) throw std::runtime_error("Table: write failed for " + path);
+}
+
+void print_section(std::ostream& os, const std::string& title) {
+  os << "\n=== " << title << " ===\n";
+}
+
+}  // namespace finwork::io

@@ -1,0 +1,44 @@
+#pragma once
+// Small table writer used by the benchmark harness: collects named columns,
+// prints an aligned human-readable table and a machine-readable CSV block so
+// each figure binary's stdout is both inspectable and plottable.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace finwork::io {
+
+/// Column-oriented table of doubles with string headers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  [[nodiscard]] std::size_t num_columns() const noexcept {
+    return headers_.size();
+  }
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_; }
+
+  /// Append one row; must match the number of columns.
+  void add_row(const std::vector<double>& values);
+
+  /// Value accessor (row-major).
+  [[nodiscard]] double at(std::size_t row, std::size_t col) const;
+
+  /// Aligned fixed-precision text table.
+  void print(std::ostream& os, int precision = 4) const;
+  /// CSV block (headers + rows, full precision).
+  void print_csv(std::ostream& os) const;
+  /// Write CSV to a file; throws on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<double> data_;  // row-major
+  std::size_t rows_ = 0;
+};
+
+/// Print a titled section marker around a figure's output.
+void print_section(std::ostream& os, const std::string& title);
+
+}  // namespace finwork::io

@@ -1,0 +1,22 @@
+#pragma once
+// Matrix exponential via Padé(13) with scaling and squaring, and the action
+// exp(tA) applied to a row vector via uniformization for generator-like
+// matrices.  Needed for PH distribution functions F(t) = 1 - p exp(-tB) eps.
+
+#include "linalg/matrix.h"
+
+namespace finwork::la {
+
+/// exp(A) for a square matrix, Higham's scaling-and-squaring Padé(13)
+/// approximant (the algorithm behind expm in MATLAB/SciPy, simplified to
+/// always use the degree-13 approximant).
+[[nodiscard]] Matrix expm(const Matrix& a);
+
+/// Row-vector action x * exp(tA) computed by uniformization.  `a` must have
+/// non-negative off-diagonal entries and non-positive row sums up to `tol`
+/// (i.e. be a sub-generator, like -B for a PH matrix).  This never forms
+/// exp(tA) and is stable for large state spaces.
+[[nodiscard]] Vector expm_action_left(const Vector& x, const Matrix& a,
+                                      double t, double tol = 1e-13);
+
+}  // namespace finwork::la

@@ -1,0 +1,139 @@
+#include "linalg/iterative.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace finwork::la {
+
+IterativeResult neumann_solve_left(const RowOperator& apply_p, const Vector& b,
+                                   double tol, std::size_t max_iter) {
+  IterativeResult res;
+  res.x = b;
+  Vector term = b;
+  for (std::size_t n = 1; n <= max_iter; ++n) {
+    term = apply_p(term);
+    res.x += term;
+    res.iterations = n;
+    const double t = term.norm_inf();
+    if (t < tol) {
+      res.converged = true;
+      res.residual = t;
+      return res;
+    }
+  }
+  res.residual = term.norm_inf();
+  return res;
+}
+
+IterativeResult bicgstab_left(const RowOperator& apply_a, const Vector& b,
+                              double tol, std::size_t max_iter) {
+  IterativeResult res;
+  const std::size_t n = b.size();
+  res.x = Vector(n, 0.0);
+  Vector r = b;  // r = b - x A with x = 0
+  Vector r_hat = r;
+  Vector p(n, 0.0);
+  Vector v(n, 0.0);
+  double rho = 1.0, alpha = 1.0, omega = 1.0;
+  const double bnorm = std::max(b.norm2(), 1e-300);
+
+  // Restart the recurrence (r_hat <- r) when the BiCG coefficients become
+  // numerically degenerate instead of giving up — standard stabilization for
+  // nearly-converged or unlucky shadow residuals.
+  auto restart = [&] {
+    r_hat = r;
+    p.fill(0.0);
+    v.fill(0.0);
+    rho = alpha = omega = 1.0;
+  };
+
+  for (std::size_t k = 1; k <= max_iter; ++k) {
+    double rho_next = dot(r_hat, r);
+    if (std::abs(rho_next) < 1e-30 * r.norm2() * r_hat.norm2() + 1e-300) {
+      restart();
+      rho_next = dot(r_hat, r);
+      if (std::abs(rho_next) < 1e-300) break;  // true breakdown: r ~ 0
+    }
+    const double beta = (rho_next / rho) * (alpha / omega);
+    rho = rho_next;
+    // p = r + beta (p - omega v)
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * (p[i] - omega * v[i]);
+    v = apply_a(p);
+    const double rhv = dot(r_hat, v);
+    if (std::abs(rhv) < 1e-300) {
+      restart();
+      continue;
+    }
+    alpha = rho / rhv;
+    Vector s = r;
+    axpy(-alpha, v, s);
+    if (s.norm2() / bnorm < tol) {
+      axpy(alpha, p, res.x);
+      res.iterations = k;
+      res.converged = true;
+      res.residual = s.norm2() / bnorm;
+      return res;
+    }
+    const Vector t = apply_a(s);
+    const double tt = dot(t, t);
+    if (tt < 1e-300) break;
+    omega = dot(t, s) / tt;
+    axpy(alpha, p, res.x);
+    axpy(omega, s, res.x);
+    r = s;
+    axpy(-omega, t, r);
+    res.iterations = k;
+    const double rel = r.norm2() / bnorm;
+    res.residual = rel;
+    if (rel < tol) {
+      res.converged = true;
+      return res;
+    }
+    if (std::abs(omega) < 1e-300) restart();
+  }
+  return res;
+}
+
+IterativeResult power_iteration_left(const RowOperator& apply_t,
+                                     const Vector& initial, double tol,
+                                     std::size_t max_iter) {
+  IterativeResult res;
+  Vector pi = initial;
+  const double s0 = pi.sum();
+  if (s0 == 0.0) {
+    throw std::invalid_argument("power_iteration_left: initial sums to zero");
+  }
+  pi /= s0;
+  for (std::size_t k = 1; k <= max_iter; ++k) {
+    Vector next = apply_t(pi);
+    const double s = next.sum();
+    if (s <= 0.0) {
+      throw std::runtime_error(
+          "power_iteration_left: operator lost probability mass");
+    }
+    next /= s;
+    Vector diff = next - pi;
+    const double d = diff.norm_inf();
+    pi = std::move(next);
+    res.iterations = k;
+    if (d < tol) {
+      res.converged = true;
+      res.residual = d;
+      res.x = std::move(pi);
+      return res;
+    }
+    res.residual = d;
+  }
+  res.x = std::move(pi);
+  return res;
+}
+
+RowOperator row_operator(const CsrMatrix& m) {
+  return [&m](const Vector& x) { return m.apply_left(x); };
+}
+
+RowOperator row_operator(const Matrix& m) {
+  return [&m](const Vector& x) { return x * m; };
+}
+
+}  // namespace finwork::la

@@ -1,0 +1,58 @@
+#pragma once
+// Iterative kernels for the large sparse systems the transient solver meets:
+//   * x (I - P) = b with substochastic P   (Neumann series / BiCGSTAB)
+//   * pi T = pi for a stochastic operator T (power iteration)
+// All operators are passed as callables mapping a row vector to a row vector,
+// so dense, CSR and matrix-free compositions (like Y_K R_K) share one code
+// path.
+
+#include <cstddef>
+#include <functional>
+
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+
+namespace finwork::la {
+
+/// Row-vector operator: y = x * Op.
+using RowOperator = std::function<Vector(const Vector&)>;
+
+/// Result of an iterative solve.
+struct IterativeResult {
+  Vector x;                  ///< solution (row vector)
+  double residual = 0.0;     ///< final residual norm (inf-norm)
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Solve x (I - P) = b by the Neumann series x = sum_n b P^n.  Converges
+/// whenever the spectral radius of P is < 1 (substochastic P with reachable
+/// exit).  Cheap per-iteration; can be slow when exit probabilities are tiny.
+[[nodiscard]] IterativeResult neumann_solve_left(const RowOperator& apply_p,
+                                                 const Vector& b,
+                                                 double tol = 1e-12,
+                                                 std::size_t max_iter = 200000);
+
+/// BiCGSTAB for x A = b given the row action y = x * A.  General-purpose
+/// fallback when Neumann is slow.  No preconditioner (the systems are well
+/// conditioned: I minus a substochastic matrix).
+[[nodiscard]] IterativeResult bicgstab_left(const RowOperator& apply_a,
+                                            const Vector& b,
+                                            double tol = 1e-12,
+                                            std::size_t max_iter = 10000);
+
+/// Power iteration for the dominant left fixed point pi = pi * T of a
+/// stochastic operator (spectral radius 1, Perron root simple).  The iterate
+/// is renormalized to sum 1 each step; convergence is measured in inf-norm of
+/// successive differences.
+[[nodiscard]] IterativeResult power_iteration_left(const RowOperator& apply_t,
+                                                   const Vector& initial,
+                                                   double tol = 1e-13,
+                                                   std::size_t max_iter = 100000);
+
+/// Convenience row-operator over a CSR matrix.
+[[nodiscard]] RowOperator row_operator(const CsrMatrix& m);
+/// Convenience row-operator over a dense matrix.
+[[nodiscard]] RowOperator row_operator(const Matrix& m);
+
+}  // namespace finwork::la

@@ -1,0 +1,41 @@
+#include "linalg/kron.h"
+
+#include <stdexcept>
+
+namespace finwork::la {
+
+Matrix kron(const Matrix& a, const Matrix& b) {
+  Matrix k(a.rows() * b.rows(), a.cols() * b.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      const double aij = a(i, j);
+      if (aij == 0.0) continue;
+      for (std::size_t r = 0; r < b.rows(); ++r) {
+        for (std::size_t c = 0; c < b.cols(); ++c) {
+          k(i * b.rows() + r, j * b.cols() + c) = aij * b(r, c);
+        }
+      }
+    }
+  }
+  return k;
+}
+
+Matrix kron_sum(const Matrix& a, const Matrix& b) {
+  if (!a.square() || !b.square()) {
+    throw std::invalid_argument("kron_sum: matrices must be square");
+  }
+  return kron(a, identity(b.rows())) + kron(identity(a.rows()), b);
+}
+
+Vector kron(const Vector& a, const Vector& b) {
+  Vector k(a.size() * b.size(), 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0.0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      k[i * b.size() + j] = a[i] * b[j];
+    }
+  }
+  return k;
+}
+
+}  // namespace finwork::la

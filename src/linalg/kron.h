@@ -1,0 +1,21 @@
+#pragma once
+// Kronecker product and sum.  The paper contrasts the naive
+// Kronecker-product state space (2K+1)^K with the reduced-product space; we
+// provide the operators both for that comparison and for composing
+// independent PH stages.
+
+#include "linalg/matrix.h"
+
+namespace finwork::la {
+
+/// Kronecker product A (x) B of sizes (ra*rb) x (ca*cb).
+[[nodiscard]] Matrix kron(const Matrix& a, const Matrix& b);
+
+/// Kronecker sum A (+) B = A (x) I_b + I_a (x) B; both must be square.
+/// The generator of two independent Markov processes run jointly.
+[[nodiscard]] Matrix kron_sum(const Matrix& a, const Matrix& b);
+
+/// Kronecker product of row vectors: entrance vector of a joined process.
+[[nodiscard]] Vector kron(const Vector& a, const Vector& b);
+
+}  // namespace finwork::la

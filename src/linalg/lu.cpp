@@ -1,0 +1,140 @@
+#include "linalg/lu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace finwork::la {
+
+LuDecomposition::LuDecomposition(const Matrix& a) : lu_(a) {
+  if (!a.square()) {
+    throw std::invalid_argument("LuDecomposition: matrix is not square");
+  }
+  norm_inf_a_ = a.norm_inf();
+  const std::size_t n = lu_.rows();
+  piv_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) piv_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest |entry| in column k at/below row k.
+    std::size_t p = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    if (best == 0.0) {
+      throw std::runtime_error("LuDecomposition: matrix is singular");
+    }
+    if (p != k) {
+      auto rk = lu_.row(k);
+      auto rp = lu_.row(p);
+      std::swap_ranges(rk.begin(), rk.end(), rp.begin());
+      std::swap(piv_[k], piv_[p]);
+      pivot_sign_ = -pivot_sign_;
+    }
+    const double pivot = lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = lu_(i, k) / pivot;
+      lu_(i, k) = m;
+      if (m == 0.0) continue;
+      const auto rowk = lu_.row(k);
+      auto rowi = lu_.row(i);
+      for (std::size_t j = k + 1; j < n; ++j) rowi[j] -= m * rowk[j];
+    }
+  }
+}
+
+Vector LuDecomposition::solve(const Vector& b) const {
+  const std::size_t n = dim();
+  if (b.size() != n) throw std::invalid_argument("LU solve: size mismatch");
+  Vector x(n);
+  // Apply permutation, forward substitution with unit-lower L.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[piv_[i]];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s;
+  }
+  // Back substitution with U.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(ii, j) * x[j];
+    x[ii] = s / lu_(ii, ii);
+  }
+  return x;
+}
+
+Vector LuDecomposition::solve_left(const Vector& b) const {
+  // x A = b  <=>  A^T x^T = b^T.  With P A = L U we get A^T = U^T L^T P, so
+  // solve U^T z = b (forward), L^T w = z (backward), then x = P^T w,
+  // i.e. x[piv[i]] = w[i].
+  const std::size_t n = dim();
+  if (b.size() != n) throw std::invalid_argument("LU solve_left: size mismatch");
+  Vector z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(j, i) * z[j];
+    z[i] = s / lu_(i, i);
+  }
+  Vector w(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = z[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(j, ii) * w[j];
+    w[ii] = s;
+  }
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[piv_[i]] = w[i];
+  return x;
+}
+
+Matrix LuDecomposition::solve(const Matrix& b) const {
+  const std::size_t n = dim();
+  if (b.rows() != n) throw std::invalid_argument("LU solve: size mismatch");
+  Matrix x(n, b.cols());
+  Vector col(n);
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < n; ++r) col[r] = b(r, c);
+    const Vector sol = solve(col);
+    for (std::size_t r = 0; r < n; ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+Matrix LuDecomposition::inverse() const { return solve(identity(dim())); }
+
+double LuDecomposition::determinant() const noexcept {
+  double d = pivot_sign_;
+  for (std::size_t i = 0; i < dim(); ++i) d *= lu_(i, i);
+  return d;
+}
+
+double LuDecomposition::rcond_estimate() const {
+  // Cheap estimate: 1 / (||A||_inf * ||A^-1 e||_inf-ish) via one solve with a
+  // vector of alternating signs, which tends to excite the worst direction.
+  const std::size_t n = dim();
+  Vector probe(n);
+  for (std::size_t i = 0; i < n; ++i) probe[i] = (i % 2 == 0) ? 1.0 : -1.0;
+  const Vector sol = solve(probe);
+  const double inv_norm = sol.norm_inf();
+  if (inv_norm == 0.0 || norm_inf_a_ == 0.0) return 0.0;
+  return 1.0 / (norm_inf_a_ * inv_norm);
+}
+
+Vector solve(const Matrix& a, const Vector& b) {
+  return LuDecomposition(a).solve(b);
+}
+
+Vector solve_left(const Matrix& a, const Vector& b) {
+  return LuDecomposition(a).solve_left(b);
+}
+
+Matrix inverse(const Matrix& a) { return LuDecomposition(a).inverse(); }
+
+double determinant(const Matrix& a) {
+  return LuDecomposition(a).determinant();
+}
+
+}  // namespace finwork::la

@@ -1,0 +1,176 @@
+#pragma once
+// Dense row-major matrix and vector types for LAQT computations.
+//
+// These are deliberately simple value types: the state spaces the transient
+// solver works with are small enough (up to a few tens of thousands of states)
+// that a clear, cache-friendly row-major layout plus LAPACK-style LU beats
+// anything clever.  All entries are double.
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+namespace finwork::la {
+
+/// Dense vector of doubles.  A thin wrapper over std::vector that adds the
+/// linear-algebra operations the solver needs (dot, axpy, norms, scaling).
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(std::size_t n, double value = 0.0) : data_(n, value) {}
+  Vector(std::initializer_list<double> init) : data_(init) {}
+  explicit Vector(std::vector<double> data) : data_(std::move(data)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  double& operator[](std::size_t i) {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  double operator[](std::size_t i) const {
+    assert(i < data_.size());
+    return data_[i];
+  }
+
+  [[nodiscard]] double* data() noexcept { return data_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::span<const double> span() const noexcept { return data_; }
+  [[nodiscard]] std::span<double> span() noexcept { return data_; }
+
+  [[nodiscard]] auto begin() { return data_.begin(); }
+  [[nodiscard]] auto end() { return data_.end(); }
+  [[nodiscard]] auto begin() const { return data_.begin(); }
+  [[nodiscard]] auto end() const { return data_.end(); }
+
+  void resize(std::size_t n, double value = 0.0) { data_.resize(n, value); }
+  void fill(double value);
+
+  /// Sum of all components.
+  [[nodiscard]] double sum() const noexcept;
+  /// Euclidean norm.
+  [[nodiscard]] double norm2() const noexcept;
+  /// Max-abs norm.
+  [[nodiscard]] double norm_inf() const noexcept;
+  /// Sum of absolute values.
+  [[nodiscard]] double norm1() const noexcept;
+
+  Vector& operator+=(const Vector& rhs);
+  Vector& operator-=(const Vector& rhs);
+  Vector& operator*=(double s) noexcept;
+  Vector& operator/=(double s) noexcept;
+
+  friend bool operator==(const Vector&, const Vector&) = default;
+
+ private:
+  std::vector<double> data_;
+};
+
+[[nodiscard]] Vector operator+(Vector lhs, const Vector& rhs);
+[[nodiscard]] Vector operator-(Vector lhs, const Vector& rhs);
+[[nodiscard]] Vector operator*(Vector v, double s);
+[[nodiscard]] Vector operator*(double s, Vector v);
+[[nodiscard]] Vector operator/(Vector v, double s);
+
+/// Dot product.  Sizes must match.
+[[nodiscard]] double dot(const Vector& a, const Vector& b);
+/// y += alpha * x.
+void axpy(double alpha, const Vector& x, Vector& y);
+/// Vector of n ones — the LAQT epsilon column vector.
+[[nodiscard]] Vector ones(std::size_t n);
+/// Unit vector e_i of dimension n.
+[[nodiscard]] Vector unit(std::size_t n, std::size_t i);
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double value = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+  /// Construct from nested initializer lists; all rows must be equally long.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] bool square() const noexcept { return rows_ == cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] double* data() noexcept { return data_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  void fill(double value);
+  /// Set this to the n x n identity (resizing as needed).
+  void set_identity(std::size_t n);
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double norm_frobenius() const noexcept;
+  /// Max absolute row sum (induced infinity norm).
+  [[nodiscard]] double norm_inf() const noexcept;
+  /// Max absolute column sum (induced 1-norm).
+  [[nodiscard]] double norm1() const noexcept;
+  /// Sum of diagonal entries; matrix must be square.
+  [[nodiscard]] double trace() const;
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s) noexcept;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+[[nodiscard]] Matrix operator+(Matrix lhs, const Matrix& rhs);
+[[nodiscard]] Matrix operator-(Matrix lhs, const Matrix& rhs);
+[[nodiscard]] Matrix operator*(Matrix m, double s);
+[[nodiscard]] Matrix operator*(double s, Matrix m);
+
+/// Dense matrix product C = A * B.
+[[nodiscard]] Matrix operator*(const Matrix& a, const Matrix& b);
+/// Column action y = A * x.
+[[nodiscard]] Vector operator*(const Matrix& a, const Vector& x);
+/// Row action y = x^T * A (LAQT state vectors are row vectors).
+[[nodiscard]] Vector operator*(const Vector& x, const Matrix& a);
+
+/// n x n identity matrix.
+[[nodiscard]] Matrix identity(std::size_t n);
+/// Square matrix with d on the diagonal.
+[[nodiscard]] Matrix diagonal(const Vector& d);
+/// Extract the diagonal of a square matrix.
+[[nodiscard]] Vector diag_of(const Matrix& a);
+
+/// True when every |a_ij - b_ij| <= atol + rtol * |b_ij|.
+[[nodiscard]] bool allclose(const Matrix& a, const Matrix& b,
+                            double rtol = 1e-10, double atol = 1e-12);
+[[nodiscard]] bool allclose(const Vector& a, const Vector& b,
+                            double rtol = 1e-10, double atol = 1e-12);
+
+std::ostream& operator<<(std::ostream& os, const Vector& v);
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+}  // namespace finwork::la

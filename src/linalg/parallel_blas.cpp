@@ -1,0 +1,72 @@
+#include "linalg/parallel_blas.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace finwork::la {
+
+Matrix multiply_blocked(const Matrix& a, const Matrix& b,
+                        par::ThreadPool& pool, std::size_t block) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("multiply_blocked: inner dimensions disagree");
+  }
+  if (block == 0) {
+    throw std::invalid_argument("multiply_blocked: block must be >= 1");
+  }
+  Matrix c(a.rows(), b.cols(), 0.0);
+  const std::size_t rows = a.rows();
+  const std::size_t inner = a.cols();
+  const std::size_t cols = b.cols();
+
+  // Parallel over independent row panels; within a panel, k is blocked for
+  // cache reuse of B's row tiles but consumed in ascending order, so every
+  // c(i, j) accumulates in exactly the serial order (bitwise reproducible).
+  par::parallel_for(
+      pool, 0, (rows + block - 1) / block,
+      [&](std::size_t panel) {
+        const std::size_t i0 = panel * block;
+        const std::size_t i1 = std::min(rows, i0 + block);
+        for (std::size_t k0 = 0; k0 < inner; k0 += block) {
+          const std::size_t k1 = std::min(inner, k0 + block);
+          for (std::size_t i = i0; i < i1; ++i) {
+            auto crow = c.row(i);
+            for (std::size_t k = k0; k < k1; ++k) {
+              const double aik = a(i, k);
+              if (aik == 0.0) continue;
+              const auto brow = b.row(k);
+              for (std::size_t j = 0; j < cols; ++j) crow[j] += aik * brow[j];
+            }
+          }
+        }
+      });
+  return c;
+}
+
+Matrix multiply_blocked(const Matrix& a, const Matrix& b) {
+  return multiply_blocked(a, b, par::ThreadPool::global());
+}
+
+Vector multiply_left_parallel(const Vector& x, const Matrix& a,
+                              par::ThreadPool& pool) {
+  if (a.rows() != x.size()) {
+    throw std::invalid_argument("multiply_left_parallel: dimensions disagree");
+  }
+  Vector y(a.cols(), 0.0);
+  const std::size_t cols = a.cols();
+  const std::size_t panel = std::max<std::size_t>(64, cols / (4 * pool.size() + 1));
+  par::parallel_for(
+      pool, 0, (cols + panel - 1) / panel,
+      [&](std::size_t p) {
+        const std::size_t j0 = p * panel;
+        const std::size_t j1 = std::min(cols, j0 + panel);
+        for (std::size_t i = 0; i < x.size(); ++i) {
+          const double xi = x[i];
+          if (xi == 0.0) continue;
+          const auto arow = a.row(i);
+          for (std::size_t j = j0; j < j1; ++j) y[j] += xi * arow[j];
+        }
+      });
+  return y;
+}
+
+}  // namespace finwork::la

@@ -1,0 +1,28 @@
+#pragma once
+// Cache-blocked, thread-parallel dense kernels.  The scalar operator* in
+// matrix.h is fine for the solver's small state spaces; these kernels serve
+// the large dense workloads (matrix exponentials of big PH compositions,
+// the tagged reference model's product spaces) and demonstrate the blocked
+// + pooled idiom for dense linear algebra.
+
+#include "linalg/matrix.h"
+#include "parallel/thread_pool.h"
+
+namespace finwork::la {
+
+/// C = A * B with cache blocking, parallelized over row panels on `pool`.
+/// Bitwise-identical to the serial product (same per-element accumulation
+/// order).
+[[nodiscard]] Matrix multiply_blocked(const Matrix& a, const Matrix& b,
+                                      par::ThreadPool& pool,
+                                      std::size_t block = 64);
+
+/// Convenience overload on the global pool.
+[[nodiscard]] Matrix multiply_blocked(const Matrix& a, const Matrix& b);
+
+/// y = x * A parallelized over column panels (row-vector action, the
+/// dominant operation of the transient solver's dense path).
+[[nodiscard]] Vector multiply_left_parallel(const Vector& x, const Matrix& a,
+                                            par::ThreadPool& pool);
+
+}  // namespace finwork::la

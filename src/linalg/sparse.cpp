@@ -1,0 +1,122 @@
+#include "linalg/sparse.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace finwork::la {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<Triplet> triplets)
+    : rows_(rows), cols_(cols) {
+  for (const Triplet& t : triplets) {
+    if (t.row >= rows || t.col >= cols) {
+      throw std::out_of_range("CsrMatrix: triplet index out of range");
+    }
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  row_ptr_.assign(rows + 1, 0);
+  col_idx_.reserve(triplets.size());
+  values_.reserve(triplets.size());
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    while (i < triplets.size() && triplets[i].row == r) {
+      double v = triplets[i].value;
+      const std::size_t c = triplets[i].col;
+      ++i;
+      while (i < triplets.size() && triplets[i].row == r &&
+             triplets[i].col == c) {
+        v += triplets[i].value;
+        ++i;
+      }
+      if (v != 0.0) {
+        col_idx_.push_back(c);
+        values_.push_back(v);
+      }
+    }
+    row_ptr_[r + 1] = values_.size();
+  }
+}
+
+Vector CsrMatrix::apply(const Vector& x) const {
+  if (x.size() != cols_) throw std::invalid_argument("CSR apply: size mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      s += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = s;
+  }
+  return y;
+}
+
+Vector CsrMatrix::apply_left(const Vector& x) const {
+  if (x.size() != rows_) {
+    throw std::invalid_argument("CSR apply_left: size mismatch");
+  }
+  Vector y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      y[col_idx_[k]] += xr * values_[k];
+    }
+  }
+  return y;
+}
+
+Vector CsrMatrix::row_sums() const {
+  Vector s(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      s[r] += values_[k];
+    }
+  }
+  return s;
+}
+
+double CsrMatrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("CSR at: out of range");
+  const auto first = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  const auto last = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(first, last, c);
+  if (it == last || *it != c) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+Matrix CsrMatrix::to_dense() const {
+  Matrix d(rows_, cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      d(r, col_idx_[k]) += values_[k];
+    }
+  }
+  return d;
+}
+
+double CsrMatrix::norm_inf() const noexcept {
+  double m = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      s += std::abs(values_[k]);
+    }
+    m = std::max(m, s);
+  }
+  return m;
+}
+
+CsrMatrix to_csr(const Matrix& a, double drop_tol) {
+  std::vector<Triplet> trips;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      if (std::abs(a(r, c)) > drop_tol) trips.push_back({r, c, a(r, c)});
+    }
+  }
+  return CsrMatrix(a.rows(), a.cols(), std::move(trips));
+}
+
+}  // namespace finwork::la

@@ -1,0 +1,205 @@
+#include "network/network_spec.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/lu.h"
+
+namespace finwork::net {
+
+namespace {
+constexpr double kProbTol = 1e-9;
+}
+
+NetworkSpec::NetworkSpec(std::vector<Station> stations, la::Vector entry,
+                         la::Matrix routing, la::Vector exit)
+    : stations_(std::move(stations)),
+      entry_(std::move(entry)),
+      routing_(std::move(routing)),
+      exit_(std::move(exit)) {
+  const std::size_t s = stations_.size();
+  if (s == 0) throw std::invalid_argument("NetworkSpec: no stations");
+  if (entry_.size() != s || exit_.size() != s || routing_.rows() != s ||
+      routing_.cols() != s) {
+    throw std::invalid_argument("NetworkSpec: dimension mismatch");
+  }
+  double esum = 0.0;
+  for (std::size_t j = 0; j < s; ++j) {
+    if (entry_[j] < -kProbTol) {
+      throw std::invalid_argument("NetworkSpec: negative entry probability");
+    }
+    esum += entry_[j];
+  }
+  if (std::abs(esum - 1.0) > kProbTol) {
+    throw std::invalid_argument("NetworkSpec: entry must sum to 1");
+  }
+  for (std::size_t j = 0; j < s; ++j) {
+    double row = exit_[j];
+    if (exit_[j] < -kProbTol) {
+      throw std::invalid_argument("NetworkSpec: negative exit probability");
+    }
+    for (std::size_t l = 0; l < s; ++l) {
+      if (routing_(j, l) < -kProbTol) {
+        throw std::invalid_argument("NetworkSpec: negative routing probability");
+      }
+      row += routing_(j, l);
+    }
+    if (std::abs(row - 1.0) > kProbTol) {
+      throw std::invalid_argument(
+          "NetworkSpec: routing row + exit must sum to 1 (station " +
+          stations_[j].name + ")");
+    }
+  }
+}
+
+void NetworkSpec::validate_connectivity() const {
+  const std::size_t s = stations_.size();
+  // Forward reachability from the entrance.
+  std::vector<bool> reachable(s, false);
+  std::vector<std::size_t> frontier;
+  for (std::size_t j = 0; j < s; ++j) {
+    if (entry_[j] > 0.0) {
+      reachable[j] = true;
+      frontier.push_back(j);
+    }
+  }
+  while (!frontier.empty()) {
+    const std::size_t j = frontier.back();
+    frontier.pop_back();
+    for (std::size_t l = 0; l < s; ++l) {
+      if (!reachable[l] && routing_(j, l) > 0.0) {
+        reachable[l] = true;
+        frontier.push_back(l);
+      }
+    }
+  }
+  // Backward reachability of the exit.
+  std::vector<bool> exits(s, false);
+  for (std::size_t j = 0; j < s; ++j) {
+    if (exit_[j] > 0.0) {
+      exits[j] = true;
+      frontier.push_back(j);
+    }
+  }
+  while (!frontier.empty()) {
+    const std::size_t l = frontier.back();
+    frontier.pop_back();
+    for (std::size_t j = 0; j < s; ++j) {
+      if (!exits[j] && routing_(j, l) > 0.0) {
+        exits[j] = true;
+        frontier.push_back(j);
+      }
+    }
+  }
+  for (std::size_t j = 0; j < s; ++j) {
+    if (reachable[j] && !exits[j]) {
+      throw std::invalid_argument(
+          "NetworkSpec: tasks reaching station '" + stations_[j].name +
+          "' can never leave the system (exit unreachable)");
+    }
+  }
+}
+
+SingleCustomerView NetworkSpec::single_customer() const {
+  const std::size_t s = stations_.size();
+  // Phase offsets per station.
+  std::vector<std::size_t> offset(s + 1, 0);
+  for (std::size_t j = 0; j < s; ++j) {
+    offset[j + 1] = offset[j] + stations_[j].service.phases();
+  }
+  const std::size_t total = offset[s];
+
+  SingleCustomerView view;
+  view.p = la::Vector(total, 0.0);
+  view.transition = la::Matrix(total, total, 0.0);
+  view.rates = la::Vector(total, 0.0);
+  view.exit = la::Vector(total, 0.0);
+  view.phase_station.resize(total);
+
+  for (std::size_t j = 0; j < s; ++j) {
+    const ph::PhaseType& svc = stations_[j].service;
+    const std::size_t m = svc.phases();
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t gi = offset[j] + i;
+      view.phase_station[gi] = j;
+      view.p[gi] = entry_[j] * svc.entry()[i];
+      view.rates[gi] = svc.phase_rate(i);
+      // internal jumps within the station's PH
+      for (std::size_t i2 = 0; i2 < m; ++i2) {
+        const double pij = svc.jump_probability(i, i2);
+        if (pij > 0.0) view.transition(gi, offset[j] + i2) += pij;
+      }
+      // station completion: route to the next station's entrance phases or
+      // leave the system
+      const double q = svc.exit_probability(i);
+      if (q > 0.0) {
+        for (std::size_t l = 0; l < s; ++l) {
+          const double rjl = routing_(j, l);
+          if (rjl <= 0.0) continue;
+          const ph::PhaseType& dst = stations_[l].service;
+          for (std::size_t i2 = 0; i2 < dst.phases(); ++i2) {
+            const double pe = dst.entry()[i2];
+            if (pe > 0.0) view.transition(gi, offset[l] + i2) += q * rjl * pe;
+          }
+        }
+        view.exit[gi] = q * exit_[j];
+      }
+    }
+  }
+
+  // B = M (I - P)
+  view.b = la::Matrix(total, total, 0.0);
+  for (std::size_t r = 0; r < total; ++r) {
+    for (std::size_t c = 0; c < total; ++c) {
+      const double eye = (r == c) ? 1.0 : 0.0;
+      view.b(r, c) = view.rates[r] * (eye - view.transition(r, c));
+    }
+  }
+
+  // time components pV: solve x B = p, i.e. x = p V.
+  view.time_components = la::solve_left(view.b, view.p);
+  view.mean_task_time = view.time_components.sum();
+  return view;
+}
+
+ph::PhaseType NetworkSpec::task_time_distribution() const {
+  const SingleCustomerView view = single_customer();
+  return ph::PhaseType(view.p, view.b, "task-time");
+}
+
+la::Vector NetworkSpec::visit_ratios() const {
+  // v = entry + v * routing  =>  v (I - routing) = entry
+  const std::size_t s = stations_.size();
+  la::Matrix a = la::identity(s);
+  a -= routing_;
+  return la::solve_left(a, entry_);
+}
+
+la::Vector NetworkSpec::service_demands() const {
+  la::Vector v = visit_ratios();
+  for (std::size_t j = 0; j < stations_.size(); ++j) {
+    v[j] *= stations_[j].service.mean();
+  }
+  return v;
+}
+
+NetworkSpec NetworkSpec::with_service(std::size_t j,
+                                      ph::PhaseType service) const {
+  if (j >= stations_.size()) {
+    throw std::out_of_range("NetworkSpec::with_service");
+  }
+  std::vector<Station> st = stations_;
+  st[j].service = std::move(service);
+  return NetworkSpec(std::move(st), entry_, routing_, exit_);
+}
+
+NetworkSpec NetworkSpec::exponentialized() const {
+  std::vector<Station> st = stations_;
+  for (Station& s : st) {
+    s.service = ph::PhaseType::exponential(1.0 / s.service.mean());
+  }
+  return NetworkSpec(std::move(st), entry_, routing_, exit_);
+}
+
+}  // namespace finwork::net

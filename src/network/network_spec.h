@@ -1,0 +1,94 @@
+#pragma once
+// A closed network of stations with finite workload: station-level entrance
+// probabilities, routing matrix and exit probabilities.  This is the "S" of
+// the paper's Section 3, before population expansion.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "network/station.h"
+
+namespace finwork::net {
+
+/// Single-customer LAQT matrices of a network, at *phase* granularity: the
+/// paper's p, P, M, B = M(I-P), V = B^-1 and the time-components vector pV.
+struct SingleCustomerView {
+  la::Vector p;            ///< entrance over phases
+  la::Matrix transition;   ///< P over phases
+  la::Vector rates;        ///< diag of M over phases
+  la::Matrix b;            ///< B = M (I - P)
+  la::Vector exit;         ///< per-phase probability of leaving the system
+  /// Mean total time a lone task spends in each phase: the paper's pV.
+  la::Vector time_components;
+  /// Mean time for one task alone in the network: Psi[V] = p V eps.
+  double mean_task_time = 0.0;
+  /// Which station each phase belongs to.
+  std::vector<std::size_t> phase_station;
+};
+
+/// Station-level network description with validation and the derived
+/// single-customer view.
+class NetworkSpec {
+ public:
+  /// `entry[j]`: probability a task starts at station j (sums to 1).
+  /// `routing(j, l)`: probability a task finishing service at station j moves
+  /// to station l.  `exit[j]`: probability it leaves the system instead.
+  /// Each row of `routing` plus `exit[j]` must sum to 1.
+  NetworkSpec(std::vector<Station> stations, la::Vector entry,
+              la::Matrix routing, la::Vector exit);
+
+  [[nodiscard]] std::size_t num_stations() const noexcept {
+    return stations_.size();
+  }
+  [[nodiscard]] const Station& station(std::size_t j) const {
+    return stations_.at(j);
+  }
+  [[nodiscard]] const std::vector<Station>& stations() const noexcept {
+    return stations_;
+  }
+  [[nodiscard]] const la::Vector& entry() const noexcept { return entry_; }
+  [[nodiscard]] const la::Matrix& routing() const noexcept { return routing_; }
+  [[nodiscard]] const la::Vector& exit() const noexcept { return exit_; }
+
+  /// Expand to phase granularity for a single customer (paper §3.1): the
+  /// basis of the k = 1 level and of visit-ratio computations.
+  [[nodiscard]] SingleCustomerView single_customer() const;
+
+  /// Station visit ratios: expected number of visits to each station per
+  /// task (entrance counted).  Solves v = entry + v * routing.
+  [[nodiscard]] la::Vector visit_ratios() const;
+
+  /// The running time of one task alone in the network, as an explicit
+  /// phase-type distribution <p, B> over the network's phases.  Gives the
+  /// task-level C^2, density and quantiles — e.g. to check how much of a
+  /// device's per-visit variability survives aggregation over the visits.
+  [[nodiscard]] ph::PhaseType task_time_distribution() const;
+
+  /// Mean service demand per task at each station:
+  /// visit ratio * mean service time.
+  [[nodiscard]] la::Vector service_demands() const;
+
+  /// Structural sanity for solvers: every station reachable from the
+  /// entrance must also reach the system exit (otherwise tasks circulate
+  /// forever and first-passage quantities diverge), and the entrance mass
+  /// must land on reachable stations.  Throws std::invalid_argument with
+  /// the offending station's name.
+  void validate_connectivity() const;
+
+  /// Returns a copy with station `j`'s service distribution replaced.
+  [[nodiscard]] NetworkSpec with_service(std::size_t j,
+                                         ph::PhaseType service) const;
+  /// Returns a copy where every station's service is replaced by an
+  /// exponential with the same mean (the paper's "exponential assumption").
+  [[nodiscard]] NetworkSpec exponentialized() const;
+
+ private:
+  std::vector<Station> stations_;
+  la::Vector entry_;
+  la::Matrix routing_;
+  la::Vector exit_;
+};
+
+}  // namespace finwork::net

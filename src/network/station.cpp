@@ -1,0 +1,250 @@
+#include "network/station.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace finwork::net {
+
+namespace {
+
+/// All compositions of n into m non-negative parts, lexicographically by the
+/// first part descending recursion (stable enumeration order).
+void enumerate_compositions(std::size_t n, std::size_t m,
+                            std::vector<std::size_t>& current,
+                            std::vector<std::vector<std::size_t>>& out) {
+  if (m == 1) {
+    current.push_back(n);
+    out.push_back(current);
+    current.pop_back();
+    return;
+  }
+  for (std::size_t first = 0; first <= n; ++first) {
+    current.push_back(first);
+    enumerate_compositions(n - first, m - 1, current, out);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+StationModel::StationModel(Station station, std::size_t max_population)
+    : station_(std::move(station)), max_pop_(max_population) {
+  if (station_.multiplicity == 0) {
+    throw std::invalid_argument("StationModel: multiplicity must be >= 1");
+  }
+  const std::size_t m = station_.service.phases();
+  ample_ = station_.multiplicity >= max_pop_;
+  if (!ample_ && m > 1 && station_.multiplicity != 1) {
+    throw std::invalid_argument(
+        "StationModel: multi-server stations with several phases are not "
+        "supported exactly; use multiplicity 1 (shared) or >= population "
+        "(dedicated) — station '" + station_.name + "'");
+  }
+
+  counts_.resize(max_pop_ + 1);
+  offsets_.resize(max_pop_ + 1);
+  if (ample_ && m > 1) {
+    comps_.resize(max_pop_ + 1);
+    std::vector<std::size_t> cur;
+    for (std::size_t n = 0; n <= max_pop_; ++n) {
+      enumerate_compositions(n, m, cur, comps_[n]);
+      counts_[n] = comps_[n].size();
+    }
+  } else if (!ample_ && m > 1) {
+    // queued single-server PH: (n, phase); one empty state at n = 0
+    counts_[0] = 1;
+    for (std::size_t n = 1; n <= max_pop_; ++n) counts_[n] = m;
+  } else {
+    // single-phase (exponential-like), ample or queued: just the count n
+    for (std::size_t n = 0; n <= max_pop_; ++n) counts_[n] = 1;
+  }
+  std::size_t off = 0;
+  for (std::size_t n = 0; n <= max_pop_; ++n) {
+    offsets_[n] = off;
+    off += counts_[n];
+  }
+}
+
+std::size_t StationModel::count(std::size_t n) const {
+  if (n > max_pop_) throw std::out_of_range("StationModel::count");
+  return counts_[n];
+}
+
+std::size_t StationModel::code_offset(std::size_t n) const {
+  if (n > max_pop_) throw std::out_of_range("StationModel::code_offset");
+  return offsets_[n];
+}
+
+std::size_t StationModel::total_codes() const {
+  return offsets_[max_pop_] + counts_[max_pop_];
+}
+
+std::pair<std::size_t, std::size_t> StationModel::decode(std::size_t code) const {
+  if (code >= total_codes()) throw std::out_of_range("StationModel::decode");
+  // offsets_ is sorted; find the n-block containing the code.
+  const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), code);
+  const std::size_t n = static_cast<std::size_t>(it - offsets_.begin()) - 1;
+  return {n, code - offsets_[n]};
+}
+
+std::size_t StationModel::comp_index(const std::vector<std::size_t>& c) const {
+  const std::size_t n = std::accumulate(c.begin(), c.end(), std::size_t{0});
+  const auto& block = comps_[n];
+  const auto it = std::lower_bound(block.begin(), block.end(), c);
+  if (it == block.end() || *it != c) {
+    throw std::logic_error("StationModel: composition not found");
+  }
+  return static_cast<std::size_t>(it - block.begin());
+}
+
+std::vector<LocalActivity> StationModel::activities(std::size_t n,
+                                                    std::size_t idx) const {
+  if (n > max_pop_ || idx >= counts_[n]) {
+    throw std::out_of_range("StationModel::activities");
+  }
+  std::vector<LocalActivity> acts;
+  if (n == 0) return acts;
+  const ph::PhaseType& svc = station_.service;
+  const std::size_t m = svc.phases();
+
+  if (ample_ && m > 1) {
+    const std::vector<std::size_t>& alpha = comps_[n][idx];
+    for (std::size_t i = 0; i < m; ++i) {
+      if (alpha[i] == 0) continue;
+      LocalActivity act;
+      act.rate = static_cast<double>(alpha[i]) * svc.phase_rate(i);
+      for (std::size_t j = 0; j < m; ++j) {
+        const double pij = svc.jump_probability(i, j);
+        if (pij <= 0.0) continue;
+        std::vector<std::size_t> next = alpha;
+        --next[i];
+        ++next[j];
+        act.internal.push_back({comp_index(next), pij});
+      }
+      const double q = svc.exit_probability(i);
+      if (q > 0.0) {
+        std::vector<std::size_t> next = alpha;
+        --next[i];
+        act.completion.push_back({comp_index(next), q});
+      }
+      acts.push_back(std::move(act));
+    }
+    return acts;
+  }
+
+  if (!ample_ && m > 1) {
+    // queued single-server PH: local state (n, phase = idx)
+    const std::size_t phase = idx;
+    LocalActivity act;
+    act.rate = svc.phase_rate(phase);
+    for (std::size_t j = 0; j < m; ++j) {
+      const double pij = svc.jump_probability(phase, j);
+      if (pij > 0.0) act.internal.push_back({j, pij});
+    }
+    const double q = svc.exit_probability(phase);
+    if (q > 0.0) {
+      if (n == 1) {
+        act.completion.push_back({0, q});  // station drains to its empty state
+      } else {
+        // next customer starts service: starting phase from the entrance
+        // vector
+        for (std::size_t j = 0; j < m; ++j) {
+          const double pj = svc.entry()[j];
+          if (pj > 0.0) act.completion.push_back({j, q * pj});
+        }
+      }
+    }
+    acts.push_back(std::move(act));
+    return acts;
+  }
+
+  // single-phase station, ample or queued with multiplicity c
+  const std::size_t busy = std::min(n, station_.multiplicity);
+  LocalActivity act;
+  act.rate = static_cast<double>(busy) * svc.phase_rate(0);
+  const double self = svc.jump_probability(0, 0);
+  if (self > 0.0) act.internal.push_back({0, self});
+  const double q = svc.exit_probability(0);
+  if (q > 0.0) act.completion.push_back({0, q});
+  acts.push_back(std::move(act));
+  return acts;
+}
+
+std::vector<LocalOutcome> StationModel::arrival(std::size_t n,
+                                                std::size_t idx) const {
+  if (n >= max_pop_ || idx >= counts_[n]) {
+    throw std::out_of_range("StationModel::arrival");
+  }
+  const ph::PhaseType& svc = station_.service;
+  const std::size_t m = svc.phases();
+  std::vector<LocalOutcome> out;
+
+  if (ample_ && m > 1) {
+    const std::vector<std::size_t>& alpha = comps_[n][idx];
+    for (std::size_t i = 0; i < m; ++i) {
+      const double pi = svc.entry()[i];
+      if (pi <= 0.0) continue;
+      std::vector<std::size_t> next = alpha;
+      ++next[i];
+      out.push_back({comp_index(next), pi});
+    }
+    return out;
+  }
+
+  if (!ample_ && m > 1) {
+    if (n == 0) {
+      // arrival starts service immediately; phase from the entrance vector
+      for (std::size_t i = 0; i < m; ++i) {
+        const double pi = svc.entry()[i];
+        if (pi > 0.0) out.push_back({i, pi});
+      }
+    } else {
+      out.push_back({idx, 1.0});  // joins the queue; in-service phase unchanged
+    }
+    return out;
+  }
+
+  out.push_back({0, 1.0});
+  return out;
+}
+
+std::vector<std::size_t> StationModel::phase_counts(std::size_t n,
+                                                    std::size_t idx) const {
+  if (n > max_pop_ || idx >= counts_[n]) {
+    throw std::out_of_range("StationModel::phase_counts");
+  }
+  const std::size_t m = station_.service.phases();
+  std::vector<std::size_t> counts(m, 0);
+  if (n == 0) return counts;
+  if (ample_ && m > 1) return comps_[n][idx];
+  if (!ample_ && m > 1) {
+    counts[idx] = 1;  // the in-service customer
+    return counts;
+  }
+  counts[0] = std::min(n, station_.multiplicity);
+  return counts;
+}
+
+std::string StationModel::describe(std::size_t n, std::size_t idx) const {
+  std::ostringstream ss;
+  const std::size_t m = station_.service.phases();
+  if (ample_ && m > 1) {
+    ss << '(';
+    const auto& alpha = comps_[n][idx];
+    for (std::size_t i = 0; i < alpha.size(); ++i) {
+      if (i) ss << ',';
+      ss << alpha[i];
+    }
+    ss << ')';
+  } else if (!ample_ && m > 1) {
+    ss << "n=" << n;
+    if (n > 0) ss << " ph=" << idx;
+  } else {
+    ss << "n=" << n;
+  }
+  return ss.str();
+}
+
+}  // namespace finwork::net

@@ -1,0 +1,108 @@
+#pragma once
+// A station is one service device of the network (CPU bank, disk, channel).
+// StationModel turns a station description into the *local* state machinery
+// the reduced-product builder composes:
+//
+//   * ample stations (multiplicity >= population bound) — every customer has
+//     its own server, so the phase counts (alpha_1..alpha_m) are a sufficient
+//     local state; phase i completes at rate alpha_i * mu_i.  This is the
+//     paper's "replace the server by m exponential stages" rule, which is
+//     exact exactly in this case.
+//   * queued exponential stations (1 phase, any multiplicity c) — local state
+//     is the customer count n; service completes at rate min(n, c) * mu.
+//   * queued single-server PH stations (multiplicity 1, m > 1 phases) — local
+//     state is (n, phase of the in-service customer); on a completion with
+//     n > 1 the next customer's starting phase is drawn from the entrance
+//     vector.  This is the exact FCFS PH/./1 embedding (see DESIGN.md §3).
+//
+// Multi-server (1 < c < population) stations with more than one phase are
+// rejected: their exact state space needs per-server phases, which the paper
+// never uses.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ph/phase_type.h"
+
+namespace finwork::net {
+
+/// Station description: name, service-time distribution, number of parallel
+/// servers.  Use multiplicity >= the max population for dedicated devices.
+struct Station {
+  std::string name;
+  ph::PhaseType service;
+  std::size_t multiplicity = 1;
+};
+
+/// A probability-weighted local-state outcome.  `index` refers to a local
+/// state at the population implied by context (same n for internal moves,
+/// n-1 for completions, n+1 for arrivals).
+struct LocalOutcome {
+  std::size_t index = 0;
+  double probability = 0.0;
+};
+
+/// One exponential activity of a local state: a Poisson event stream; when
+/// the event fires the station either moves internally (customer count
+/// unchanged) or completes one customer's service.  Internal and completion
+/// probabilities sum to 1.
+struct LocalActivity {
+  double rate = 0.0;
+  std::vector<LocalOutcome> internal;    ///< targets with n customers
+  std::vector<LocalOutcome> completion;  ///< targets with n-1 customers
+};
+
+/// Expanded per-station state machinery for populations 0..max_population.
+class StationModel {
+ public:
+  StationModel(Station station, std::size_t max_population);
+
+  [[nodiscard]] const Station& station() const noexcept { return station_; }
+  [[nodiscard]] const std::string& name() const noexcept {
+    return station_.name;
+  }
+  [[nodiscard]] std::size_t max_population() const noexcept { return max_pop_; }
+  /// True when every customer present is always in service (no queueing).
+  [[nodiscard]] bool is_ample() const noexcept { return ample_; }
+
+  /// Number of local states with n customers present.
+  [[nodiscard]] std::size_t count(std::size_t n) const;
+  /// Sum of count(n') for n' < n: offset of the n-block in the local code.
+  [[nodiscard]] std::size_t code_offset(std::size_t n) const;
+  /// Total number of local codes (all n in 0..max_population).
+  [[nodiscard]] std::size_t total_codes() const;
+  /// Decode a local code into (n, index).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> decode(std::size_t code) const;
+
+  /// Activities of local state (n, idx).  Empty when n == 0.
+  [[nodiscard]] std::vector<LocalActivity> activities(std::size_t n,
+                                                      std::size_t idx) const;
+  /// Where an arriving customer lands: outcomes over states with n+1
+  /// customers, given current state (n, idx).
+  [[nodiscard]] std::vector<LocalOutcome> arrival(std::size_t n,
+                                                  std::size_t idx) const;
+
+  /// Per-phase counts of the customers currently *in service* in local state
+  /// (n, idx); size is service.phases().  Waiting customers (possible only at
+  /// queued stations) have no phase and are n minus the sum of the counts.
+  [[nodiscard]] std::vector<std::size_t> phase_counts(std::size_t n,
+                                                      std::size_t idx) const;
+  /// Human-readable description of a local state, e.g. "(2,0,1)" or "n=3 ph=1".
+  [[nodiscard]] std::string describe(std::size_t n, std::size_t idx) const;
+
+ private:
+  Station station_;
+  std::size_t max_pop_;
+  bool ample_;
+
+  // Ample stations: compositions of n into m phases, per n, in enumeration
+  // order; comp_index_ maps a composition to its index within its n-block.
+  std::vector<std::vector<std::vector<std::size_t>>> comps_;
+  [[nodiscard]] std::size_t comp_index(const std::vector<std::size_t>& c) const;
+
+  std::vector<std::size_t> counts_;   // count(n)
+  std::vector<std::size_t> offsets_;  // code_offset(n)
+};
+
+}  // namespace finwork::net

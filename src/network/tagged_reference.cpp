@@ -1,0 +1,213 @@
+#include "network/tagged_reference.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/lu.h"
+
+namespace finwork::net {
+
+namespace {
+
+/// Per-task location code: one slot per (station, phase), plus "done".
+struct CodeBook {
+  std::vector<std::size_t> station_of;  // code -> station
+  std::vector<std::size_t> phase_of;    // code -> phase within station
+  std::vector<std::size_t> first_code;  // station -> first code
+  std::size_t done = 0;                 // the departed slot
+
+  explicit CodeBook(const NetworkSpec& spec) {
+    for (std::size_t j = 0; j < spec.num_stations(); ++j) {
+      first_code.push_back(station_of.size());
+      for (std::size_t i = 0; i < spec.station(j).service.phases(); ++i) {
+        station_of.push_back(j);
+        phase_of.push_back(i);
+      }
+    }
+    done = station_of.size();
+  }
+  [[nodiscard]] std::size_t size() const { return done + 1; }
+};
+
+}  // namespace
+
+TaggedReferenceResult tagged_reference(const NetworkSpec& spec,
+                                       std::size_t population) {
+  if (population == 0) {
+    throw std::invalid_argument("tagged_reference: population must be >= 1");
+  }
+  for (std::size_t j = 0; j < spec.num_stations(); ++j) {
+    const Station& st = spec.station(j);
+    if (st.multiplicity < population && st.service.phases() > 1) {
+      throw std::invalid_argument(
+          "tagged_reference: queued stations must be exponential (station '" +
+          st.name + "')");
+    }
+  }
+
+  const CodeBook book(spec);
+  const std::size_t codes = book.size();
+  double space = std::pow(static_cast<double>(codes),
+                          static_cast<double>(population));
+  if (space > 200000.0) {
+    throw std::invalid_argument("tagged_reference: state space too large");
+  }
+  const auto total = static_cast<std::size_t>(space + 0.5);
+
+  // State index = sum_t code_t * codes^t (mixed radix).
+  std::vector<std::size_t> digits(population);
+  const auto decode = [&](std::size_t s) {
+    for (std::size_t t = 0; t < population; ++t) {
+      digits[t] = s % codes;
+      s /= codes;
+    }
+  };
+  std::vector<std::size_t> pow_codes(population, 1);
+  for (std::size_t t = 1; t < population; ++t) {
+    pow_codes[t] = pow_codes[t - 1] * codes;
+  }
+
+  // Build the embedded-chain data for the two absorbing problems.  For each
+  // state: total event rate and the transition distribution.  We assemble
+  // the dense linear systems (I - P) tau = M^-1 eps restricted to transient
+  // states; "first departure" treats any done-task as absorbing, "makespan"
+  // absorbs only when every task is done.
+  struct Move {
+    std::size_t target;
+    double probability;
+  };
+
+  const la::Matrix& routing = spec.routing();
+  const la::Vector& sys_exit = spec.exit();
+
+  const auto transitions_of = [&](std::size_t s, double& total_rate) {
+    decode(s);
+    std::vector<Move> moves;
+    // occupancy per station
+    std::vector<std::size_t> occ(spec.num_stations(), 0);
+    for (std::size_t t = 0; t < population; ++t) {
+      if (digits[t] != book.done) ++occ[book.station_of[digits[t]]];
+    }
+    total_rate = 0.0;
+    for (std::size_t t = 0; t < population; ++t) {
+      const std::size_t code = digits[t];
+      if (code == book.done) continue;
+      const std::size_t j = book.station_of[code];
+      const std::size_t i = book.phase_of[code];
+      const Station& st = spec.station(j);
+      const ph::PhaseType& svc = st.service;
+      double rate;
+      if (st.multiplicity >= population) {
+        rate = svc.phase_rate(i);  // dedicated: everyone served
+      } else {
+        // shared exponential, random-order equivalence
+        const double busy =
+            static_cast<double>(std::min(occ[j], st.multiplicity));
+        rate = busy * svc.phase_rate(i) / static_cast<double>(occ[j]);
+      }
+      total_rate += rate;
+
+      const auto move_to = [&](std::size_t new_code, double prob) {
+        if (prob <= 0.0) return;
+        const std::size_t target =
+            s + (new_code - code) * pow_codes[t];
+        moves.push_back({target, rate * prob});
+      };
+      // internal phase jumps
+      for (std::size_t i2 = 0; i2 < svc.phases(); ++i2) {
+        move_to(book.first_code[j] + i2, svc.jump_probability(i, i2));
+      }
+      // completion: route onward or leave
+      const double q = svc.exit_probability(i);
+      if (q > 0.0) {
+        for (std::size_t l = 0; l < spec.num_stations(); ++l) {
+          const double rjl = routing(j, l);
+          if (rjl <= 0.0) continue;
+          const ph::PhaseType& dst = spec.station(l).service;
+          for (std::size_t i2 = 0; i2 < dst.phases(); ++i2) {
+            move_to(book.first_code[l] + i2,
+                    q * rjl * dst.entry()[i2]);
+          }
+        }
+        move_to(book.done, q * sys_exit[j]);
+      }
+    }
+    // normalize to probabilities
+    for (Move& m : moves) m.probability /= total_rate;
+    return moves;
+  };
+
+  const auto count_done = [&](std::size_t s) {
+    decode(s);
+    std::size_t done = 0;
+    for (std::size_t t = 0; t < population; ++t) {
+      if (digits[t] == book.done) ++done;
+    }
+    return done;
+  };
+
+  // Mean absorption time with a caller-chosen absorbing predicate, by dense
+  // solve over the transient states.
+  const auto mean_absorption = [&](auto&& absorbing) {
+    std::vector<std::size_t> transient;
+    std::vector<std::ptrdiff_t> index(total, -1);
+    for (std::size_t s = 0; s < total; ++s) {
+      if (!absorbing(s)) {
+        index[s] = static_cast<std::ptrdiff_t>(transient.size());
+        transient.push_back(s);
+      }
+    }
+    const std::size_t n = transient.size();
+    la::Matrix a = la::identity(n);
+    la::Vector rhs(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      double total_rate = 0.0;
+      const auto moves = transitions_of(transient[r], total_rate);
+      rhs[r] = 1.0 / total_rate;
+      for (const Move& m : moves) {
+        if (index[m.target] >= 0) {
+          a(r, static_cast<std::size_t>(index[m.target])) -= m.probability;
+        }
+      }
+    }
+    const la::Vector tau = la::LuDecomposition(a).solve(rhs);
+    // Average over the product entry distribution.
+    double mean = 0.0;
+    const auto accumulate_entry = [&](auto&& self, std::size_t task,
+                                      std::size_t state,
+                                      double prob) -> void {
+      if (prob == 0.0) return;
+      if (task == population) {
+        if (index[state] >= 0) {
+          mean += prob * tau[static_cast<std::size_t>(index[state])];
+        }
+        return;
+      }
+      for (std::size_t l = 0; l < spec.num_stations(); ++l) {
+        const double pl = spec.entry()[l];
+        if (pl <= 0.0) continue;
+        const ph::PhaseType& svc = spec.station(l).service;
+        for (std::size_t i = 0; i < svc.phases(); ++i) {
+          const double pe = svc.entry()[i];
+          if (pe <= 0.0) continue;
+          self(self, task + 1,
+               state + (book.first_code[l] + i) * pow_codes[task],
+               prob * pl * pe);
+        }
+      }
+    };
+    accumulate_entry(accumulate_entry, 0, 0, 1.0);
+    return mean;
+  };
+
+  TaggedReferenceResult result;
+  result.states = total;
+  result.first_departure =
+      mean_absorption([&](std::size_t s) { return count_done(s) >= 1; });
+  result.makespan = mean_absorption(
+      [&](std::size_t s) { return count_done(s) == population; });
+  return result;
+}
+
+}  // namespace finwork::net

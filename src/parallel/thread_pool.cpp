@@ -1,0 +1,116 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace finwork::par {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t max_chunks = pool.size() * 4;
+  const std::size_t chunk = std::max(grain, (n + max_chunks - 1) / max_chunks);
+
+  if (n <= chunk) {  // not worth dispatching
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  std::vector<std::future<void>> futures;
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = std::min(end, lo + chunk);
+    futures.push_back(pool.submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  parallel_for(ThreadPool::global(), begin, end, body, grain);
+}
+
+double parallel_sum(ThreadPool& pool, std::size_t begin, std::size_t end,
+                    const std::function<double(std::size_t)>& map,
+                    std::size_t grain) {
+  if (begin >= end) return 0.0;
+  const std::size_t n = end - begin;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t max_chunks = pool.size() * 4;
+  const std::size_t chunk = std::max(grain, (n + max_chunks - 1) / max_chunks);
+
+  std::vector<std::future<double>> futures;
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = std::min(end, lo + chunk);
+    futures.push_back(pool.submit([lo, hi, &map] {
+      double s = 0.0;
+      for (std::size_t i = lo; i < hi; ++i) s += map(i);
+      return s;
+    }));
+  }
+  // Combine in chunk order: deterministic independent of scheduling.
+  double total = 0.0;
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      total += f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return total;
+}
+
+}  // namespace finwork::par

@@ -1,0 +1,84 @@
+#pragma once
+// A small fixed-size thread pool with a blocking task queue, plus
+// parallel_for / parallel_reduce helpers used by the sweep drivers and the
+// simulator's replication engine.
+//
+// Design notes (C++ Core Guidelines CP.*): tasks are type-erased
+// move-only callables; the pool owns its threads (RAII — the destructor joins
+// them); no detached threads anywhere; waiting uses condition variables, not
+// spinning.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace finwork::par {
+
+/// Fixed-size worker pool.  Submit returns a std::future; parallel_for blocks
+/// until all chunks finish and rethrows the first exception raised by a chunk.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (defaults to hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a callable; returns a future for its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::packaged_task<R()>(std::forward<F>(f));
+    std::future<R> fut = task.get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
+      queue_.emplace(
+          [t = std::make_shared<std::packaged_task<R()>>(std::move(task))] {
+            (*t)();
+          });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// The process-wide default pool (lazily constructed, hardware-sized).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Run body(i) for i in [begin, end) across the pool in contiguous chunks.
+/// Blocks until complete.  `grain` is the minimum chunk size.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+/// Same, on the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+/// Deterministic parallel reduction: result = reduce over i of map(i),
+/// combined left-to-right by chunk index so the result does not depend on
+/// thread scheduling.
+double parallel_sum(ThreadPool& pool, std::size_t begin, std::size_t end,
+                    const std::function<double(std::size_t)>& map,
+                    std::size_t grain = 1);
+
+}  // namespace finwork::par

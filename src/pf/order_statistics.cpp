@@ -1,0 +1,102 @@
+#include "pf/order_statistics.h"
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+namespace finwork::pf {
+
+namespace {
+
+/// Adaptive Simpson on [a, b].
+double adaptive_simpson(const std::function<double(double)>& f, double a,
+                        double b, double fa, double fm, double fb, double eps,
+                        int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+  const double left = (m - a) / 6.0 * (fa + 4.0 * flm + fm);
+  const double right = (b - m) / 6.0 * (fm + 4.0 * frm + fb);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::abs(delta) <= 15.0 * eps) {
+    return left + right + delta / 15.0;
+  }
+  return adaptive_simpson(f, a, m, fa, flm, fm, 0.5 * eps, depth - 1) +
+         adaptive_simpson(f, m, b, fm, frm, fb, 0.5 * eps, depth - 1);
+}
+
+double integrate_tail(const std::function<double(double)>& integrand,
+                      double mean_scale, double rel_tol) {
+  // Integrate over [0, T] windows that double until the window contributes
+  // a negligible fraction — PH tails decay exponentially so this terminates.
+  double total = 0.0;
+  double lo = 0.0;
+  double window = 4.0 * mean_scale;
+  for (int iter = 0; iter < 64; ++iter) {
+    const double hi = lo + window;
+    const double fa = integrand(lo);
+    const double fm = integrand(0.5 * (lo + hi));
+    const double fb = integrand(hi);
+    const double piece = adaptive_simpson(integrand, lo, hi, fa, fm, fb,
+                                          rel_tol * mean_scale, 40);
+    total += piece;
+    if (std::abs(piece) < rel_tol * std::max(total, mean_scale) &&
+        integrand(hi) < rel_tol) {
+      return total;
+    }
+    lo = hi;
+    window *= 2.0;
+  }
+  return total;
+}
+
+}  // namespace
+
+double expected_maximum(const ph::PhaseType& dist, std::size_t k,
+                        double rel_tol) {
+  if (k == 0) throw std::invalid_argument("expected_maximum: k must be >= 1");
+  const double kd = static_cast<double>(k);
+  const auto integrand = [&](double t) {
+    const double r = dist.reliability(t);
+    // 1 - (1 - R)^k, computed stably for small R via log1p.
+    if (r <= 0.0) return 0.0;
+    if (r >= 1.0) return 1.0;
+    return -std::expm1(kd * std::log1p(-r));
+  };
+  return integrate_tail(integrand, dist.mean(), rel_tol);
+}
+
+double expected_minimum(const ph::PhaseType& dist, std::size_t k,
+                        double rel_tol) {
+  if (k == 0) throw std::invalid_argument("expected_minimum: k must be >= 1");
+  const double kd = static_cast<double>(k);
+  const auto integrand = [&](double t) {
+    return std::pow(dist.reliability(t), kd);
+  };
+  return integrate_tail(integrand, dist.mean(), rel_tol);
+}
+
+double fork_join_makespan(const ph::PhaseType& dist, std::size_t tasks,
+                          std::size_t processors) {
+  if (tasks == 0) throw std::invalid_argument("fork_join_makespan: no tasks");
+  if (processors == 0) {
+    throw std::invalid_argument("fork_join_makespan: no processors");
+  }
+  const std::size_t full_waves = tasks / processors;
+  const std::size_t remainder = tasks % processors;
+  double total = static_cast<double>(full_waves) *
+                 expected_maximum(dist, processors);
+  if (remainder > 0) total += expected_maximum(dist, remainder);
+  return total;
+}
+
+double fork_join_speedup(const ph::PhaseType& dist, std::size_t tasks,
+                         std::size_t processors) {
+  const double serial = static_cast<double>(tasks) * dist.mean();
+  return serial / fork_join_makespan(dist, tasks, processors);
+}
+
+}  // namespace finwork::pf

@@ -1,0 +1,35 @@
+#pragma once
+// Order-statistics model for independent fork/join workloads — the
+// alternative analysis the paper's introduction contrasts with queueing
+// models.  When K iid tasks run on K private processors with NO shared
+// resources, the wave completes at the maximum of K iid service times and a
+// job of N tasks takes ceil(N/K) waves (synchronized scheduling) or follows
+// the renewal-ish bound (greedy scheduling).
+
+#include <cstddef>
+
+#include "ph/phase_type.h"
+
+namespace finwork::pf {
+
+/// E[max of k iid draws] of a phase-type variable, by adaptive Simpson
+/// quadrature of the tail identity E[max] = int_0^inf (1 - F(t)^k) dt.
+[[nodiscard]] double expected_maximum(const ph::PhaseType& dist, std::size_t k,
+                                      double rel_tol = 1e-9);
+
+/// E[min of k iid draws] = int_0^inf R(t)^k dt.
+[[nodiscard]] double expected_minimum(const ph::PhaseType& dist, std::size_t k,
+                                      double rel_tol = 1e-9);
+
+/// Makespan of N iid tasks on K private processors under *synchronized*
+/// (wave) scheduling: full waves of K plus a final partial wave.
+[[nodiscard]] double fork_join_makespan(const ph::PhaseType& dist,
+                                        std::size_t tasks,
+                                        std::size_t processors);
+
+/// Speedup of the fork/join model versus serial execution.
+[[nodiscard]] double fork_join_speedup(const ph::PhaseType& dist,
+                                       std::size_t tasks,
+                                       std::size_t processors);
+
+}  // namespace finwork::pf

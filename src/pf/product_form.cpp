@@ -1,0 +1,201 @@
+#include "pf/product_form.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/lu.h"
+
+namespace finwork::pf {
+
+namespace {
+
+/// Per-station convolution factors F_j(n) = y_j^n / prod_{i<=n} a_j(i) with
+/// a_j(i) = min(i, c_j), where y_j is the (scaled) service demand.
+std::vector<double> station_factors(double demand, std::size_t servers,
+                                    std::size_t population) {
+  std::vector<double> f(population + 1);
+  f[0] = 1.0;
+  for (std::size_t n = 1; n <= population; ++n) {
+    const double a = static_cast<double>(std::min(n, servers));
+    f[n] = f[n - 1] * demand / a;
+  }
+  return f;
+}
+
+/// Convolve g with a station's factors, producing the partial normalizing
+/// vector including that station.
+std::vector<double> convolve(const std::vector<double>& g,
+                             const std::vector<double>& f) {
+  std::vector<double> out(g.size(), 0.0);
+  for (std::size_t n = 0; n < g.size(); ++n) {
+    double s = 0.0;
+    for (std::size_t m = 0; m <= n; ++m) s += f[m] * g[n - m];
+    out[n] = s;
+  }
+  return out;
+}
+
+}  // namespace
+
+ClosedNetworkResult convolution(const net::NetworkSpec& spec,
+                                std::size_t population) {
+  if (population == 0) {
+    throw std::invalid_argument("convolution: population must be >= 1");
+  }
+  const std::size_t s = spec.num_stations();
+  const la::Vector visits = spec.visit_ratios();
+
+  // Scaled demands keep G(n) in floating range for large populations.
+  la::Vector demand(s);
+  double beta = 0.0;
+  for (std::size_t j = 0; j < s; ++j) {
+    demand[j] = visits[j] * spec.station(j).service.mean();
+    beta = std::max(beta, demand[j]);
+  }
+  if (beta <= 0.0) throw std::invalid_argument("convolution: zero demands");
+
+  std::vector<std::vector<double>> factors(s);
+  for (std::size_t j = 0; j < s; ++j) {
+    factors[j] = station_factors(demand[j] / beta,
+                                 spec.station(j).multiplicity, population);
+  }
+
+  std::vector<double> g(population + 1, 0.0);
+  g[0] = 1.0;
+  for (std::size_t j = 0; j < s; ++j) g = convolve(g, factors[j]);
+
+  ClosedNetworkResult res;
+  res.system_throughput = g[population - 1] / g[population] / beta;
+  res.cycle_time = 1.0 / res.system_throughput;
+  res.station_throughput = la::Vector(s);
+  res.utilization = la::Vector(s);
+  res.mean_queue_length = la::Vector(s);
+
+  for (std::size_t j = 0; j < s; ++j) {
+    res.station_throughput[j] = visits[j] * res.system_throughput;
+    // Marginal distribution of station j: convolution of all other stations.
+    std::vector<double> gc(population + 1, 0.0);
+    gc[0] = 1.0;
+    for (std::size_t l = 0; l < s; ++l) {
+      if (l != j) gc = convolve(gc, factors[l]);
+    }
+    const std::size_t c = spec.station(j).multiplicity;
+    double q = 0.0, busy = 0.0;
+    for (std::size_t n = 0; n <= population; ++n) {
+      const double pn = factors[j][n] * gc[population - n] / g[population];
+      q += static_cast<double>(n) * pn;
+      busy += static_cast<double>(std::min(n, c)) * pn;
+    }
+    res.mean_queue_length[j] = q;
+    res.utilization[j] = busy / static_cast<double>(c);
+  }
+  return res;
+}
+
+ClosedNetworkResult exact_mva(const net::NetworkSpec& spec,
+                              std::size_t population) {
+  if (population == 0) {
+    throw std::invalid_argument("exact_mva: population must be >= 1");
+  }
+  const std::size_t s = spec.num_stations();
+  const la::Vector visits = spec.visit_ratios();
+  std::vector<bool> is_delay(s);
+  for (std::size_t j = 0; j < s; ++j) {
+    const std::size_t c = spec.station(j).multiplicity;
+    if (c >= population) {
+      is_delay[j] = true;
+    } else if (c == 1) {
+      is_delay[j] = false;
+    } else {
+      throw std::invalid_argument(
+          "exact_mva: station '" + spec.station(j).name +
+          "' has intermediate multiplicity; use convolution()");
+    }
+  }
+
+  la::Vector q(s, 0.0);  // Q_j(n - 1) across iterations
+  double x = 0.0;
+  la::Vector r(s, 0.0);
+  for (std::size_t n = 1; n <= population; ++n) {
+    double denom = 0.0;
+    for (std::size_t j = 0; j < s; ++j) {
+      const double sj = spec.station(j).service.mean();
+      r[j] = is_delay[j] ? sj : sj * (1.0 + q[j]);
+      denom += visits[j] * r[j];
+    }
+    x = static_cast<double>(n) / denom;
+    for (std::size_t j = 0; j < s; ++j) q[j] = x * visits[j] * r[j];
+  }
+
+  ClosedNetworkResult res;
+  res.system_throughput = x;
+  res.cycle_time = 1.0 / x;
+  res.station_throughput = la::Vector(s);
+  res.utilization = la::Vector(s);
+  res.mean_queue_length = q;
+  for (std::size_t j = 0; j < s; ++j) {
+    res.station_throughput[j] = visits[j] * x;
+    const double c = static_cast<double>(spec.station(j).multiplicity);
+    res.utilization[j] =
+        std::min(1.0, x * visits[j] * spec.station(j).service.mean() / c);
+  }
+  return res;
+}
+
+namespace {
+
+/// Erlang-C probability of waiting for an M/M/c queue with offered load a
+/// and utilization rho = a / c < 1.
+double erlang_c(double a, std::size_t c) {
+  double term = 1.0;  // a^k / k!
+  double sum = 1.0;   // k = 0
+  for (std::size_t k = 1; k < c; ++k) {
+    term *= a / static_cast<double>(k);
+    sum += term;
+  }
+  const double ac = term * a / static_cast<double>(c);  // a^c / c!
+  const double rho = a / static_cast<double>(c);
+  return (ac / (1.0 - rho)) / (sum + ac / (1.0 - rho));
+}
+
+}  // namespace
+
+OpenNetworkResult open_jackson(const net::NetworkSpec& spec, double lambda) {
+  if (lambda <= 0.0) {
+    throw std::invalid_argument("open_jackson: lambda must be > 0");
+  }
+  const std::size_t s = spec.num_stations();
+  // Traffic equations: lam = lambda * entry + lam * routing.
+  la::Matrix a = la::identity(s);
+  a -= spec.routing();
+  la::Vector rhs = spec.entry();
+  rhs *= lambda;
+  OpenNetworkResult res;
+  res.arrival_rates = la::solve_left(a, rhs);
+  res.utilization = la::Vector(s);
+  res.mean_customers = la::Vector(s);
+  res.mean_response_time = la::Vector(s);
+  res.stable = true;
+  for (std::size_t j = 0; j < s; ++j) {
+    const std::size_t c = spec.station(j).multiplicity;
+    const double offered = res.arrival_rates[j] * spec.station(j).service.mean();
+    const double rho = offered / static_cast<double>(c);
+    res.utilization[j] = rho;
+    if (rho >= 1.0) {
+      res.stable = false;
+      continue;
+    }
+    const double pw = erlang_c(offered, c);
+    const double lq = pw * rho / (1.0 - rho);
+    res.mean_customers[j] = lq + offered;
+    res.mean_response_time[j] = res.mean_customers[j] / res.arrival_rates[j];
+  }
+  if (res.stable) {
+    res.total_mean_customers = res.mean_customers.sum();
+    res.system_response_time = res.total_mean_customers / lambda;
+  }
+  return res;
+}
+
+}  // namespace finwork::pf

@@ -1,0 +1,59 @@
+#pragma once
+// Steady-state product-form baselines the paper compares against:
+//   * Buzen's convolution algorithm with load-dependent stations (exact for
+//     every cluster this library builds: single-server, c-server and ample
+//     stations with exponential-equivalent mean rates),
+//   * exact Mean Value Analysis for networks of single-server FCFS and
+//     infinite-server (delay) stations,
+//   * an open Jackson network solver (traffic equations + M/M/c stations).
+//
+// For non-exponential service these are the *exponential approximations*
+// whose error the paper quantifies; for exponential service the transient
+// solver's steady state must agree with them exactly (tested).
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "network/network_spec.h"
+
+namespace finwork::pf {
+
+/// Station throughputs/utilizations of a closed product-form network.
+struct ClosedNetworkResult {
+  double system_throughput = 0.0;  ///< task completions per unit time
+  double cycle_time = 0.0;         ///< 1 / throughput: mean inter-departure
+  la::Vector station_throughput;   ///< per-station completion rates
+  la::Vector utilization;          ///< fraction of servers busy (per station)
+  la::Vector mean_queue_length;    ///< time-average customers at each station
+};
+
+/// Buzen's convolution algorithm on the reduced-product space with
+/// load-dependent completion rates mu_j(n) = min(n, c_j) / mean_service_j.
+/// Uses only the stations' mean service times (the exponential assumption).
+[[nodiscard]] ClosedNetworkResult convolution(const net::NetworkSpec& spec,
+                                              std::size_t population);
+
+/// Exact MVA; stations with multiplicity 1 are FCFS queues, stations with
+/// multiplicity >= population are delay (infinite-server) stations.  Throws
+/// std::invalid_argument for intermediate multiplicities (use convolution).
+[[nodiscard]] ClosedNetworkResult exact_mva(const net::NetworkSpec& spec,
+                                            std::size_t population);
+
+/// Per-station metrics of an open Jackson network.
+struct OpenNetworkResult {
+  bool stable = false;
+  la::Vector arrival_rates;       ///< lambda_j from the traffic equations
+  la::Vector utilization;         ///< rho_j = lambda_j / (c_j mu_j)
+  la::Vector mean_customers;      ///< L_j (M/M/c formulas)
+  la::Vector mean_response_time;  ///< W_j = L_j / lambda_j
+  double total_mean_customers = 0.0;
+  double system_response_time = 0.0;  ///< mean sojourn per task (Little)
+};
+
+/// Open Jackson network fed by Poisson arrivals at rate `lambda` routed by
+/// the spec's entry vector.  Service uses exponential(mean) at each station.
+[[nodiscard]] OpenNetworkResult open_jackson(const net::NetworkSpec& spec,
+                                             double lambda);
+
+}  // namespace finwork::pf

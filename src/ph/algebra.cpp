@@ -1,0 +1,128 @@
+#include "ph/algebra.h"
+
+#include <stdexcept>
+
+#include "linalg/kron.h"
+
+namespace finwork::ph {
+
+namespace {
+
+/// Exit-rate column vector b' = B eps (rate of absorbing from each phase).
+la::Vector exit_rates(const PhaseType& d) {
+  return d.rate_matrix() * la::ones(d.phases());
+}
+
+}  // namespace
+
+PhaseType convolve(const PhaseType& first, const PhaseType& second) {
+  const std::size_t ma = first.phases();
+  const std::size_t mb = second.phases();
+  la::Vector p(ma + mb, 0.0);
+  for (std::size_t i = 0; i < ma; ++i) p[i] = first.entry()[i];
+
+  // Generator blocks: T = [[T_a, t_a p_b], [0, T_b]] with T = -B, so
+  // B = [[B_a, -(B_a eps) p_b], [0, B_b]].
+  la::Matrix b(ma + mb, ma + mb, 0.0);
+  const la::Vector ta = exit_rates(first);
+  for (std::size_t i = 0; i < ma; ++i) {
+    for (std::size_t j = 0; j < ma; ++j) b(i, j) = first.rate_matrix()(i, j);
+    for (std::size_t j = 0; j < mb; ++j) {
+      b(i, ma + j) = -ta[i] * second.entry()[j];
+    }
+  }
+  for (std::size_t i = 0; i < mb; ++i) {
+    for (std::size_t j = 0; j < mb; ++j) {
+      b(ma + i, ma + j) = second.rate_matrix()(i, j);
+    }
+  }
+  return PhaseType(std::move(p), std::move(b),
+                   first.name() + "+" + second.name());
+}
+
+PhaseType mixture(double weight, const PhaseType& a, const PhaseType& b) {
+  if (weight < 0.0 || weight > 1.0) {
+    throw std::invalid_argument("mixture: weight must be in [0, 1]");
+  }
+  const std::size_t ma = a.phases();
+  const std::size_t mb = b.phases();
+  la::Vector p(ma + mb, 0.0);
+  for (std::size_t i = 0; i < ma; ++i) p[i] = weight * a.entry()[i];
+  for (std::size_t i = 0; i < mb; ++i) p[ma + i] = (1.0 - weight) * b.entry()[i];
+  la::Matrix m(ma + mb, ma + mb, 0.0);
+  for (std::size_t i = 0; i < ma; ++i) {
+    for (std::size_t j = 0; j < ma; ++j) m(i, j) = a.rate_matrix()(i, j);
+  }
+  for (std::size_t i = 0; i < mb; ++i) {
+    for (std::size_t j = 0; j < mb; ++j) {
+      m(ma + i, ma + j) = b.rate_matrix()(i, j);
+    }
+  }
+  return PhaseType(std::move(p), std::move(m),
+                   "mix(" + a.name() + "," + b.name() + ")");
+}
+
+PhaseType minimum(const PhaseType& a, const PhaseType& b) {
+  // Joint process: generator T_a (+) T_b; absorption when either absorbs.
+  // In B form the Kronecker sum carries over directly.
+  la::Vector p = la::kron(a.entry(), b.entry());
+  la::Matrix m = la::kron_sum(a.rate_matrix(), b.rate_matrix());
+  return PhaseType(std::move(p), std::move(m),
+                   "min(" + a.name() + "," + b.name() + ")");
+}
+
+PhaseType maximum(const PhaseType& a, const PhaseType& b) {
+  // Blocks: [joint (ma*mb)] [a done, b running (mb)] [b done, a running (ma)].
+  const std::size_t ma = a.phases();
+  const std::size_t mb = b.phases();
+  const std::size_t joint = ma * mb;
+  const std::size_t total = joint + mb + ma;
+
+  la::Vector p(total, 0.0);
+  const la::Vector pj = la::kron(a.entry(), b.entry());
+  for (std::size_t i = 0; i < joint; ++i) p[i] = pj[i];
+
+  la::Matrix m(total, total, 0.0);
+  const la::Matrix joint_b = la::kron_sum(a.rate_matrix(), b.rate_matrix());
+  for (std::size_t i = 0; i < joint; ++i) {
+    for (std::size_t j = 0; j < joint; ++j) m(i, j) = joint_b(i, j);
+  }
+  // a absorbs first: rate (B_a eps)_i while b stays in phase j -> block 2.
+  const la::Vector ta = exit_rates(a);
+  const la::Vector tb = exit_rates(b);
+  for (std::size_t i = 0; i < ma; ++i) {
+    for (std::size_t j = 0; j < mb; ++j) {
+      m(i * mb + j, joint + j) -= ta[i];  // off-diagonal of B is -rate
+      m(i * mb + j, joint + mb + i) -= tb[j];
+    }
+  }
+  // Residual blocks run alone.
+  for (std::size_t i = 0; i < mb; ++i) {
+    for (std::size_t j = 0; j < mb; ++j) {
+      m(joint + i, joint + j) = b.rate_matrix()(i, j);
+    }
+  }
+  for (std::size_t i = 0; i < ma; ++i) {
+    for (std::size_t j = 0; j < ma; ++j) {
+      m(joint + mb + i, joint + mb + j) = a.rate_matrix()(i, j);
+    }
+  }
+  return PhaseType(std::move(p), std::move(m),
+                   "max(" + a.name() + "," + b.name() + ")");
+}
+
+PhaseType n_fold_sum(const PhaseType& dist, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("n_fold_sum: n must be >= 1");
+  PhaseType acc = dist;
+  for (std::size_t i = 1; i < n; ++i) acc = convolve(acc, dist);
+  return acc;
+}
+
+PhaseType n_fold_maximum(const PhaseType& dist, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("n_fold_maximum: n must be >= 1");
+  PhaseType acc = dist;
+  for (std::size_t i = 1; i < n; ++i) acc = maximum(acc, dist);
+  return acc;
+}
+
+}  // namespace finwork::ph

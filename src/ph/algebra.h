@@ -1,0 +1,37 @@
+#pragma once
+// Closure operations on phase-type distributions.  PH is closed under
+// convolution, finite mixture, minimum and maximum; the constructions are
+// the classical block/Kronecker forms (Neuts).  These let users compose
+// task models (sequential phases of work, probabilistic branches,
+// fork/join synchronization) and give the order-statistics module exact
+// counterparts to cross-check its quadrature.
+
+#include "ph/phase_type.h"
+
+namespace finwork::ph {
+
+/// X + Y for independent PH X, Y: the absorbing flow of `first` feeds the
+/// entrance vector of `second`.
+[[nodiscard]] PhaseType convolve(const PhaseType& first,
+                                 const PhaseType& second);
+
+/// With probability `weight` draw from `a`, else from `b`.
+[[nodiscard]] PhaseType mixture(double weight, const PhaseType& a,
+                                const PhaseType& b);
+
+/// min(X, Y) for independent PH: both phase processes run jointly
+/// (Kronecker sum); the first absorption wins.
+[[nodiscard]] PhaseType minimum(const PhaseType& a, const PhaseType& b);
+
+/// max(X, Y) for independent PH: joint phases plus two "one finished"
+/// blocks.
+[[nodiscard]] PhaseType maximum(const PhaseType& a, const PhaseType& b);
+
+/// n-fold convolution: sum of n iid copies (Erlang generalization).
+[[nodiscard]] PhaseType n_fold_sum(const PhaseType& dist, std::size_t n);
+
+/// Maximum of n iid copies — the exact fork/join wave time.  The phase
+/// count grows combinatorially; intended for small n.
+[[nodiscard]] PhaseType n_fold_maximum(const PhaseType& dist, std::size_t n);
+
+}  // namespace finwork::ph

@@ -1,0 +1,173 @@
+#include "ph/fitting.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace finwork::ph {
+
+namespace {
+constexpr double kScvTol = 1e-12;
+}
+
+PhaseType hyperexponential_balanced(double mean, double scv) {
+  if (mean <= 0.0) throw std::invalid_argument("H2 balanced: mean must be > 0");
+  if (scv < 1.0 - kScvTol) {
+    throw std::domain_error("H2 balanced: requires scv >= 1");
+  }
+  if (scv <= 1.0 + kScvTol) return PhaseType::exponential(1.0 / mean);
+  // Balanced means: p1/mu1 = p2/mu2 = mean/2.
+  const double p1 = 0.5 * (1.0 + std::sqrt((scv - 1.0) / (scv + 1.0)));
+  const double p2 = 1.0 - p1;
+  const double mu1 = 2.0 * p1 / mean;
+  const double mu2 = 2.0 * p2 / mean;
+  return PhaseType::hyperexponential({p1, p2}, {mu1, mu2});
+}
+
+PhaseType hyperexponential_fixed_p(double mean, double scv, double p1) {
+  if (mean <= 0.0) throw std::invalid_argument("H2 fixed-p: mean must be > 0");
+  if (p1 <= 0.0 || p1 >= 1.0) {
+    throw std::invalid_argument("H2 fixed-p: p1 must be in (0, 1)");
+  }
+  if (scv <= 1.0 + kScvTol) {
+    throw std::domain_error("H2 fixed-p: requires scv > 1");
+  }
+  // Match m1 = p1 x + p2 y and m2 = 2 (p1 x^2 + p2 y^2) with x = 1/mu1,
+  // y = 1/mu2.  Substituting x from the first equation gives a quadratic in y.
+  const double p2 = 1.0 - p1;
+  const double m2 = (scv + 1.0) * mean * mean;  // second raw moment
+  // p1 x^2 + p2 y^2 = m2/2, x = (mean - p2 y)/p1
+  // => (p2^2/p1 + p2) y^2 - 2 mean p2/p1 y + mean^2/p1 - m2/2 = 0
+  const double a = p2 * p2 / p1 + p2;
+  const double b = -2.0 * mean * p2 / p1;
+  const double c = mean * mean / p1 - 0.5 * m2;
+  const double disc = b * b - 4.0 * a * c;
+  if (disc < 0.0) {
+    throw std::domain_error("H2 fixed-p: no real fit for these parameters");
+  }
+  // Both quadratic roots satisfy the moment equations; they differ only in
+  // which branch is the slow one.  Prefer the root with branch 2 slow, but
+  // fall back to the other when it drives branch 1's mean negative.
+  const double sq = std::sqrt(disc);
+  for (const double y : {(-b + sq) / (2.0 * a), (-b - sq) / (2.0 * a)}) {
+    const double x = (mean - p2 * y) / p1;
+    if (x > 0.0 && y > 0.0) {
+      return PhaseType::hyperexponential({p1, p2}, {1.0 / x, 1.0 / y});
+    }
+  }
+  throw std::domain_error("H2 fixed-p: fit produced non-positive mean stage");
+}
+
+PhaseType hyperexponential_f0(double mean, double scv, double f0) {
+  if (f0 <= 0.0) throw std::invalid_argument("H2 f0: f0 must be > 0");
+  if (scv <= 1.0 + kScvTol) {
+    throw std::domain_error("H2 f0: requires scv > 1");
+  }
+  // f(0) = p1 mu1 + p2 mu2 is monotone in p1 along the fixed-p family, so
+  // bisection over p1 finds the member with the requested density at zero.
+  auto f0_of = [&](double p1) {
+    const PhaseType h = hyperexponential_fixed_p(mean, scv, p1);
+    return h.entry()[0] * h.rate_matrix()(0, 0) +
+           h.entry()[1] * h.rate_matrix()(1, 1);
+  };
+  // Scan for a bracketing interval in (0, 1).
+  const int kGrid = 400;
+  double lo = -1.0, hi = -1.0, flo = 0.0, fhi = 0.0;
+  double prev_p = -1.0, prev_v = 0.0;
+  for (int g = 1; g < kGrid; ++g) {
+    const double p1 = static_cast<double>(g) / kGrid;
+    double v;
+    try {
+      v = f0_of(p1) - f0;
+    } catch (const std::domain_error&) {
+      prev_p = -1.0;
+      continue;
+    }
+    if (prev_p > 0.0 && v * prev_v <= 0.0) {
+      lo = prev_p;
+      hi = p1;
+      flo = prev_v;
+      fhi = v;
+      break;
+    }
+    prev_p = p1;
+    prev_v = v;
+  }
+  if (lo < 0.0) {
+    throw std::domain_error("H2 f0: requested f(0) not attainable");
+  }
+  for (int it = 0; it < 200 && hi - lo > 1e-14; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double v = f0_of(mid) - f0;
+    if (v * flo <= 0.0) {
+      hi = mid;
+      fhi = v;
+    } else {
+      lo = mid;
+      flo = v;
+    }
+  }
+  (void)fhi;
+  return hyperexponential_fixed_p(mean, scv, 0.5 * (lo + hi));
+}
+
+PhaseType erlang_mixture(double mean, double scv) {
+  if (mean <= 0.0) throw std::invalid_argument("erlang_mixture: mean must be > 0");
+  if (scv <= 0.0 || scv > 1.0 + kScvTol) {
+    throw std::domain_error("erlang_mixture: requires scv in (0, 1]");
+  }
+  if (scv >= 1.0 - kScvTol) return PhaseType::exponential(1.0 / mean);
+  const auto k = static_cast<std::size_t>(std::ceil(1.0 / scv));
+  const double kd = static_cast<double>(k);
+  // Pure Erlang when 1/scv is (numerically) an integer.
+  if (std::abs(kd * scv - 1.0) < 1e-9) return PhaseType::erlang(k, mean);
+  // Tijms: with prob p serve k-1 stages, else k stages, common rate lambda.
+  const double p =
+      (kd * scv - std::sqrt(kd * (1.0 + scv) - kd * kd * scv)) / (1.0 + scv);
+  const double lambda = (kd - p) / mean;
+  // Chain of k stages; entering at stage 2 skips one stage (k-1 total).
+  la::Vector entry(k, 0.0);
+  if (k >= 2) {
+    entry[1] = p;
+    entry[0] = 1.0 - p;
+  } else {
+    entry[0] = 1.0;
+  }
+  la::Matrix b(k, k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    b(i, i) = lambda;
+    if (i + 1 < k) b(i, i + 1) = -lambda;
+  }
+  return PhaseType(std::move(entry), std::move(b), "MixedErlang");
+}
+
+PhaseType fit_scv(double mean, double scv) {
+  if (scv <= 0.0) throw std::domain_error("fit_scv: scv must be > 0");
+  if (std::abs(scv - 1.0) <= kScvTol) return PhaseType::exponential(1.0 / mean);
+  if (scv < 1.0) return erlang_mixture(mean, scv);
+  return hyperexponential_balanced(mean, scv);
+}
+
+PhaseType truncated_power_tail(std::size_t levels, double alpha, double mean,
+                               double gamma) {
+  if (levels == 0) throw std::invalid_argument("TPT: need >= 1 level");
+  if (alpha <= 0.0) throw std::invalid_argument("TPT: alpha must be > 0");
+  if (gamma <= 1.0) throw std::invalid_argument("TPT: gamma must be > 1");
+  if (mean <= 0.0) throw std::invalid_argument("TPT: mean must be > 0");
+  const double theta = std::pow(gamma, -alpha);
+  std::vector<double> probs(levels);
+  std::vector<double> rates(levels);
+  double norm = 0.0;
+  for (std::size_t j = 0; j < levels; ++j) norm += std::pow(theta, static_cast<double>(j));
+  double raw_mean = 0.0;
+  for (std::size_t j = 0; j < levels; ++j) {
+    probs[j] = std::pow(theta, static_cast<double>(j)) / norm;
+    rates[j] = std::pow(gamma, -static_cast<double>(j));  // slower deeper levels
+    raw_mean += probs[j] / rates[j];
+  }
+  const double scale = raw_mean / mean;  // rate multiplier to hit the mean
+  for (double& r : rates) r *= scale;
+  return PhaseType::hyperexponential(std::move(probs), std::move(rates));
+}
+
+}  // namespace finwork::ph

@@ -1,0 +1,47 @@
+#pragma once
+// Moment-matching constructors for the distribution families the paper
+// sweeps over: Erlangians (C^2 <= 1), Hyperexponentials (C^2 >= 1) with the
+// paper's three closure rules (balanced means, fixed branch probability,
+// matching the density at zero), and Lipsky's truncated power-tail class that
+// motivates the study.
+
+#include <cstddef>
+
+#include "ph/phase_type.h"
+
+namespace finwork::ph {
+
+/// Two-branch hyperexponential matching `mean` and `scv` (>= 1) with the
+/// balanced-means rule p1/mu1 = p2/mu2.  scv == 1 degenerates to exponential.
+[[nodiscard]] PhaseType hyperexponential_balanced(double mean, double scv);
+
+/// Two-branch hyperexponential matching `mean` and `scv` (> 1) with branch-1
+/// probability fixed to `p1` (the paper's "fix the third parameter based on
+/// the physical system").  Feasibility requires p1 in (0, 1) and
+/// scv + 1 < 2 / min(p1, 1 - p1); throws std::domain_error otherwise.
+[[nodiscard]] PhaseType hyperexponential_fixed_p(double mean, double scv,
+                                                 double p1);
+
+/// Two-branch hyperexponential matching `mean`, `scv` (> 1) and the density
+/// at zero f(0) = p1*mu1 + p2*mu2 (the paper's third closure option).  Found
+/// by bisection over the feasible p1 range; throws std::domain_error when no
+/// H2 attains the requested f0.
+[[nodiscard]] PhaseType hyperexponential_f0(double mean, double scv, double f0);
+
+/// Mixed-Erlang fit for scv in (0, 1]: mixture of Erlang(k-1) and Erlang(k)
+/// with a common rate (Tijms' rule), exact for mean and scv.  scv == 1/k for
+/// integer k returns the pure Erlang-k.
+[[nodiscard]] PhaseType erlang_mixture(double mean, double scv);
+
+/// One-stop fit by squared coefficient of variation: exponential at scv == 1,
+/// mixed Erlang below, balanced-means H2 above.
+[[nodiscard]] PhaseType fit_scv(double mean, double scv);
+
+/// Lipsky's M-level truncated power tail: a hyperexponential with
+/// geometrically decaying branch probabilities theta^j and rates mu/gamma^j,
+/// whose reliability approximates x^-alpha over more decades as M grows
+/// (alpha = ln(1/theta)/ln(gamma)).  Normalized to the requested mean.
+[[nodiscard]] PhaseType truncated_power_tail(std::size_t levels, double alpha,
+                                             double mean, double gamma = 2.0);
+
+}  // namespace finwork::ph

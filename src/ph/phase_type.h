@@ -1,0 +1,104 @@
+#pragma once
+// Matrix-exponential (phase-type) service distributions in LAQT form.
+//
+// A distribution is the pair <p, B>: p is the entrance (row) vector over the
+// internal phases and B is the service-rate matrix, B = M (I - P_internal).
+// Then (Lipsky, "Queueing Theory: A Linear Algebraic Approach"):
+//     F(t)   = 1 - Psi[exp(-tB)]          (PDF of completion by t)
+//     b(t)   = Psi[exp(-tB) B]
+//     R(t)   = Psi[exp(-tB)]
+//     E(T^n) = n! Psi[V^n],  V = B^-1
+// with Psi[X] := p X eps.
+//
+// The class also exposes the pieces a *network* embedding needs: per-phase
+// total rates, internal jump probabilities and per-phase exit probabilities.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "ph/rng.h"
+
+namespace finwork::ph {
+
+/// A phase-type distribution <p, B> with helpers for moments, density,
+/// network embedding and exact sampling.
+class PhaseType {
+ public:
+  /// Construct from an entrance vector and service-rate matrix.  `entry` must
+  /// be a probability vector (non-negative, sums to 1); `rate_matrix` must be
+  /// a nonsingular matrix whose negation is a sub-generator (positive
+  /// diagonal, non-positive off-diagonal, non-negative "exit" row sums).
+  PhaseType(la::Vector entry, la::Matrix rate_matrix, std::string name = {});
+
+  // ---- named constructors -------------------------------------------------
+
+  /// Exponential with the given rate (C^2 = 1).
+  [[nodiscard]] static PhaseType exponential(double rate);
+  /// Erlang-m with the given overall mean (C^2 = 1/m).
+  [[nodiscard]] static PhaseType erlang(std::size_t stages, double mean);
+  /// Hyperexponential with explicit branch probabilities and rates.
+  [[nodiscard]] static PhaseType hyperexponential(std::vector<double> probs,
+                                                  std::vector<double> rates);
+
+  // ---- accessors ----------------------------------------------------------
+
+  [[nodiscard]] std::size_t phases() const noexcept { return entry_.size(); }
+  [[nodiscard]] const la::Vector& entry() const noexcept { return entry_; }
+  [[nodiscard]] const la::Matrix& rate_matrix() const noexcept { return b_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Total departure rate of phase i (the diagonal of M).
+  [[nodiscard]] double phase_rate(std::size_t i) const;
+  /// Probability that a completion in phase i jumps to internal phase j.
+  [[nodiscard]] double jump_probability(std::size_t i, std::size_t j) const;
+  /// Probability that a completion in phase i leaves the distribution.
+  [[nodiscard]] double exit_probability(std::size_t i) const;
+
+  // ---- distribution functions ----------------------------------------------
+
+  /// n-th raw moment E(T^n) = n! Psi[V^n].
+  [[nodiscard]] double moment(std::size_t n) const;
+  [[nodiscard]] double mean() const { return moment(1); }
+  [[nodiscard]] double variance() const;
+  /// Squared coefficient of variation C^2 = Var/mean^2.
+  [[nodiscard]] double scv() const;
+
+  /// Density b(t) = Psi[exp(-tB) B].
+  [[nodiscard]] double pdf(double t) const;
+  /// CDF F(t) = 1 - Psi[exp(-tB)].
+  [[nodiscard]] double cdf(double t) const;
+  /// Reliability R(t) = Psi[exp(-tB)].
+  [[nodiscard]] double reliability(double t) const;
+
+  /// Psi[X] = p X eps for an arbitrary square matrix of matching dimension.
+  [[nodiscard]] double psi(const la::Matrix& x) const;
+
+  /// Returns a copy rescaled so that its mean equals `new_mean` (time-scale
+  /// change; C^2 and shape are preserved).
+  [[nodiscard]] PhaseType with_mean(double new_mean) const;
+
+  // ---- sampling -------------------------------------------------------------
+
+  /// Draw one service time by simulating the phase process exactly.
+  [[nodiscard]] double sample(rng::Xoshiro256& rng) const;
+  /// Draw the entrance phase only (used by the network simulator, which
+  /// advances phases itself).
+  [[nodiscard]] std::size_t sample_entry_phase(rng::Xoshiro256& rng) const;
+  /// Given a completed phase, draw the next phase or "exit".  Returns
+  /// phases() to signal exit.
+  [[nodiscard]] std::size_t sample_next_phase(rng::Xoshiro256& rng,
+                                              std::size_t from) const;
+
+ private:
+  la::Vector entry_;
+  la::Matrix b_;
+  std::string name_;
+  // Cached embedding pieces derived from B.
+  la::Vector phase_rates_;          // M_ii
+  la::Matrix jump_probs_;           // P_internal
+  la::Vector exit_probs_;           // q_i = 1 - sum_j P_ij
+};
+
+}  // namespace finwork::ph

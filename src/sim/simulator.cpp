@@ -1,0 +1,246 @@
+#include "sim/simulator.h"
+
+#include <deque>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+
+#include "parallel/thread_pool.h"
+
+namespace finwork::sim {
+
+namespace {
+
+struct Event {
+  double time = 0.0;
+  std::uint64_t sequence = 0;  // FIFO tie-break for equal times
+  std::size_t customer = 0;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.sequence > b.sequence;
+  }
+};
+
+struct Customer {
+  std::size_t station = 0;
+  std::size_t phase = 0;
+  bool in_service = false;
+};
+
+struct StationState {
+  std::size_t busy = 0;
+  std::deque<std::size_t> waiting;  // FCFS customer ids
+};
+
+/// Sample an index from a cumulative probability row; `size` entries.
+template <typename Cum>
+std::size_t sample_cumulative(const Cum& cum, std::size_t size, double u) {
+  for (std::size_t i = 0; i + 1 < size; ++i) {
+    if (u < cum[i]) return i;
+  }
+  return size - 1;
+}
+
+}  // namespace
+
+NetworkSimulator::NetworkSimulator(net::NetworkSpec spec,
+                                   std::size_t workstations)
+    : spec_(std::move(spec)), k_(workstations) {
+  if (k_ == 0) {
+    throw std::invalid_argument("NetworkSimulator: workstations must be >= 1");
+  }
+}
+
+std::vector<double> NetworkSimulator::run_once(
+    std::size_t tasks, rng::Xoshiro256& rng,
+    std::vector<StationTally>* tallies) const {
+  if (tasks == 0) {
+    throw std::invalid_argument("NetworkSimulator: need >= 1 task");
+  }
+  const std::size_t s = spec_.num_stations();
+
+  // Precompute cumulative rows: entry over stations; routing row j has s
+  // station targets followed by the implicit system exit.
+  std::vector<double> entry_cum(s);
+  {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < s; ++j) {
+      acc += spec_.entry()[j];
+      entry_cum[j] = acc;
+    }
+  }
+  std::vector<std::vector<double>> route_cum(s, std::vector<double>(s));
+  for (std::size_t j = 0; j < s; ++j) {
+    double acc = 0.0;
+    for (std::size_t l = 0; l < s; ++l) {
+      acc += spec_.routing()(j, l);
+      route_cum[j][l] = acc;
+    }
+  }
+
+  std::vector<Customer> customers;
+  customers.reserve(k_);
+  std::vector<StationState> stations(s);
+  std::priority_queue<Event, std::vector<Event>, EventLater> events;
+  std::uint64_t sequence = 0;
+  double now = 0.0;
+  std::size_t not_yet_admitted = tasks;
+  std::vector<double> departures;
+  departures.reserve(tasks);
+
+  // Time-integrated per-station occupancy for the optional tallies.
+  std::vector<std::size_t> present(s, 0);
+  std::vector<double> busy_integral(s, 0.0);
+  std::vector<double> queue_integral(s, 0.0);
+  const auto advance_time = [&](double to) {
+    if (tallies != nullptr && to > now) {
+      const double dt = to - now;
+      for (std::size_t j = 0; j < s; ++j) {
+        busy_integral[j] += dt * static_cast<double>(stations[j].busy);
+        queue_integral[j] += dt * static_cast<double>(present[j]);
+      }
+    }
+    now = to;
+  };
+
+  auto schedule_phase = [&](std::size_t cid) {
+    const Customer& c = customers[cid];
+    const ph::PhaseType& svc = spec_.station(c.station).service;
+    const double dt = rng::exponential(rng, svc.phase_rate(c.phase));
+    events.push({now + dt, sequence++, cid});
+  };
+
+  auto begin_service = [&](std::size_t cid) {
+    Customer& c = customers[cid];
+    const ph::PhaseType& svc = spec_.station(c.station).service;
+    c.phase = svc.sample_entry_phase(rng);
+    c.in_service = true;
+    ++stations[c.station].busy;
+    schedule_phase(cid);
+  };
+
+  auto arrive_at = [&](std::size_t cid, std::size_t station) {
+    Customer& c = customers[cid];
+    c.station = station;
+    c.in_service = false;
+    ++present[station];
+    StationState& st = stations[station];
+    if (st.busy < spec_.station(station).multiplicity) {
+      begin_service(cid);
+    } else {
+      st.waiting.push_back(cid);
+    }
+  };
+
+  auto admit_task = [&](std::size_t cid) {
+    const double u = rng::uniform01(rng);
+    arrive_at(cid, sample_cumulative(entry_cum, s, u));
+    --not_yet_admitted;
+  };
+
+  // Fill the system with the first K tasks (fewer if tasks < K).
+  const std::size_t initial = std::min(tasks, k_);
+  for (std::size_t i = 0; i < initial; ++i) {
+    customers.push_back({});
+    admit_task(customers.size() - 1);
+  }
+
+  while (departures.size() < tasks) {
+    if (events.empty()) {
+      throw std::logic_error("NetworkSimulator: event queue ran dry");
+    }
+    const Event ev = events.top();
+    events.pop();
+    advance_time(ev.time);
+    Customer& c = customers[ev.customer];
+    const std::size_t j = c.station;
+    const ph::PhaseType& svc = spec_.station(j).service;
+
+    const std::size_t next_phase = svc.sample_next_phase(rng, c.phase);
+    if (next_phase < svc.phases()) {
+      c.phase = next_phase;  // internal jump, still in service
+      schedule_phase(ev.customer);
+      continue;
+    }
+
+    // Service completed: free the server, start the next waiting customer.
+    StationState& st = stations[j];
+    --st.busy;
+    --present[j];
+    c.in_service = false;
+    if (!st.waiting.empty()) {
+      const std::size_t next_cid = st.waiting.front();
+      st.waiting.pop_front();
+      begin_service(next_cid);
+    }
+
+    // Route the completing customer.
+    const double u = rng::uniform01(rng);
+    const double route_total = route_cum[j].empty() ? 0.0 : route_cum[j][s - 1];
+    if (u < route_total) {
+      arrive_at(ev.customer, sample_cumulative(route_cum[j], s, u));
+    } else {
+      // System departure; the freed slot admits the next task (reusing the
+      // customer record).
+      departures.push_back(now);
+      if (not_yet_admitted > 0) admit_task(ev.customer);
+    }
+  }
+  if (tallies != nullptr) {
+    tallies->assign(s, {});
+    const double horizon = departures.back();
+    for (std::size_t j = 0; j < s; ++j) {
+      (*tallies)[j].utilization =
+          busy_integral[j] /
+          (horizon * static_cast<double>(spec_.station(j).multiplicity));
+      (*tallies)[j].mean_queue_length = queue_integral[j] / horizon;
+    }
+  }
+  return departures;
+}
+
+SimulationResult NetworkSimulator::run(std::size_t tasks,
+                                       const SimulationOptions& options) const {
+  SimulationResult result;
+  result.tasks = tasks;
+  result.workstations = k_;
+  result.departure_time.resize(tasks);
+  result.interdeparture.resize(tasks);
+  result.utilization.resize(spec_.num_stations());
+  result.queue_length.resize(spec_.num_stations());
+
+  const rng::Xoshiro256 root(options.seed);
+  std::mutex merge_mutex;
+
+  auto run_replication = [&](std::size_t rep) {
+    rng::Xoshiro256 rng = root.split(rep);
+    std::vector<StationTally> tallies;
+    const std::vector<double> dep = run_once(tasks, rng, &tallies);
+    std::lock_guard lock(merge_mutex);
+    double prev = 0.0;
+    for (std::size_t i = 0; i < tasks; ++i) {
+      result.departure_time[i].add(dep[i]);
+      result.interdeparture[i].add(dep[i] - prev);
+      prev = dep[i];
+    }
+    result.makespan.add(dep.back());
+    for (std::size_t j = 0; j < tallies.size(); ++j) {
+      result.utilization[j].add(tallies[j].utilization);
+      result.queue_length[j].add(tallies[j].mean_queue_length);
+    }
+  };
+
+  if (options.parallel) {
+    par::parallel_for(0, options.replications, run_replication);
+  } else {
+    for (std::size_t rep = 0; rep < options.replications; ++rep) {
+      run_replication(rep);
+    }
+  }
+  return result;
+}
+
+}  // namespace finwork::sim

@@ -1,0 +1,100 @@
+#include "stats/online_stats.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace finwork::stats {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double OnlineStats::std_error() const noexcept {
+  if (n_ == 0) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+namespace {
+
+// Two-sided Student-t critical values, rows: level index {90, 95, 99},
+// columns: df 1..30 then the normal limit.
+double t_critical(std::size_t df, double level) noexcept {
+  static constexpr std::array<double, 30> t90 = {
+      6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+      1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+      1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697};
+  static constexpr std::array<double, 30> t95 = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  static constexpr std::array<double, 30> t99 = {
+      63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+      3.106,  3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+      2.831,  2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750};
+  const std::array<double, 30>* table = &t95;
+  double normal = 1.960;
+  if (level >= 0.985) {
+    table = &t99;
+    normal = 2.576;
+  } else if (level < 0.925) {
+    table = &t90;
+    normal = 1.645;
+  }
+  if (df == 0) return (*table)[0];
+  if (df <= 30) return (*table)[df - 1];
+  if (df <= 120) {
+    // Linear interpolation between df=30 and the normal limit.
+    const double w = static_cast<double>(df - 30) / 90.0;
+    return (1.0 - w) * (*table)[29] + w * normal;
+  }
+  return normal;
+}
+
+}  // namespace
+
+double OnlineStats::ci_half_width(double level) const noexcept {
+  if (n_ < 2) return 0.0;
+  return t_critical(n_ - 1, level) * std_error();
+}
+
+double squared_cv(double mean, double second_moment) noexcept {
+  if (mean == 0.0) return 0.0;
+  const double var = second_moment - mean * mean;
+  return var / (mean * mean);
+}
+
+}  // namespace finwork::stats

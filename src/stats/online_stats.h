@@ -1,0 +1,43 @@
+#pragma once
+// Numerically stable online statistics (Welford) and confidence intervals,
+// used by the simulator's replication engine and the benchmark harness.
+
+#include <cstddef>
+
+namespace finwork::stats {
+
+/// Welford single-pass accumulator for mean and variance.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  /// Merge another accumulator (parallel reduction of per-thread stats).
+  void merge(const OnlineStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean.
+  [[nodiscard]] double std_error() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Half-width of the confidence interval for the mean at the given level
+  /// (two-sided), using Student's t for small n and the normal limit above
+  /// n = 120.  Supported levels: 0.90, 0.95, 0.99 (others fall back to 0.95).
+  [[nodiscard]] double ci_half_width(double level = 0.95) const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Squared coefficient of variation C^2 = var / mean^2 given the first two
+/// raw moments E[X], E[X^2].
+[[nodiscard]] double squared_cv(double mean, double second_moment) noexcept;
+
+}  // namespace finwork::stats

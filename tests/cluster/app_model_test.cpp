@@ -1,0 +1,77 @@
+// Tests for the application model's derived parameters.
+
+#include "cluster/app_model.h"
+
+#include <gtest/gtest.h>
+
+namespace cluster = finwork::cluster;
+
+TEST(AppModel, DefaultsReproducePaperTaskTime) {
+  const cluster::ApplicationModel app;
+  EXPECT_NEAR(app.task_mean_time(), 12.0, 1e-12);
+  app.validate();
+}
+
+TEST(AppModel, DerivedParameters) {
+  const cluster::ApplicationModel app;
+  EXPECT_DOUBLE_EQ(app.q(), 0.05);
+  EXPECT_DOUBLE_EQ(app.p1() + app.p2(), 1.0);
+  // Per-visit service times reproduce the time totals:
+  // CPU: t_cpu / q = C X.
+  EXPECT_NEAR(app.cpu_service() / app.q(),
+              app.cpu_fraction * app.local_time, 1e-12);
+  // Local disk: t_d p1 (1-q) / q = (1-C) X.
+  EXPECT_NEAR(app.local_disk_service() * app.p1() * (1.0 - app.q()) / app.q(),
+              (1.0 - app.cpu_fraction) * app.local_time, 1e-12);
+  // Remote disk: t_rd p2 (1-q) / q = Y.
+  EXPECT_NEAR(app.remote_disk_service() * app.p2() * (1.0 - app.q()) / app.q(),
+              app.remote_time, 1e-12);
+  // Comm: t_com p2 (1-q) / q = B Y.
+  EXPECT_NEAR(app.comm_service() * app.p2() * (1.0 - app.q()) / app.q(),
+              app.comm_factor * app.remote_time, 1e-12);
+}
+
+TEST(AppModel, TaskTimeDecomposition) {
+  cluster::ApplicationModel app;
+  app.local_time = 6.0;
+  app.remote_time = 2.0;
+  app.comm_factor = 0.5;
+  EXPECT_NEAR(app.task_mean_time(), 6.0 + 1.5 * 2.0, 1e-12);
+}
+
+TEST(AppModel, ValidationCatchesBadParameters) {
+  cluster::ApplicationModel app;
+  app.local_time = 0.0;
+  EXPECT_THROW((void)app.validate(), std::invalid_argument);
+
+  app = {};
+  app.cpu_fraction = 0.0;
+  EXPECT_THROW((void)app.validate(), std::invalid_argument);
+  app.cpu_fraction = 1.5;
+  EXPECT_THROW((void)app.validate(), std::invalid_argument);
+
+  app = {};
+  app.remote_time = -1.0;
+  EXPECT_THROW((void)app.validate(), std::invalid_argument);
+
+  app = {};
+  app.comm_factor = -0.1;
+  EXPECT_THROW((void)app.validate(), std::invalid_argument);
+
+  app = {};
+  app.mean_cycles = 1.0;
+  EXPECT_THROW((void)app.validate(), std::invalid_argument);
+
+  app = {};
+  app.remote_share = 0.0;
+  EXPECT_THROW((void)app.validate(), std::invalid_argument);
+  app.remote_share = 1.0;
+  EXPECT_THROW((void)app.validate(), std::invalid_argument);
+}
+
+TEST(AppModel, CpuFractionOneHasNoDiskTime) {
+  cluster::ApplicationModel app;
+  app.cpu_fraction = 1.0;
+  app.validate();
+  EXPECT_DOUBLE_EQ(app.local_disk_service(), 0.0);
+}

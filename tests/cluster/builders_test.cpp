@@ -1,0 +1,132 @@
+// Tests for the central/distributed cluster builders and service shapes.
+
+#include "cluster/builders.h"
+
+#include <gtest/gtest.h>
+
+#include "core/transient_solver.h"
+
+namespace cluster = finwork::cluster;
+namespace net = finwork::net;
+
+TEST(ServiceShape, FactoriesProduceRequestedMeanAndShape) {
+  const double mean = 0.8;
+  EXPECT_NEAR(cluster::ServiceShape::exponential().make(mean).mean(), mean,
+              1e-12);
+  const auto e3 = cluster::ServiceShape::erlang(3).make(mean);
+  EXPECT_NEAR(e3.mean(), mean, 1e-12);
+  EXPECT_NEAR(e3.scv(), 1.0 / 3.0, 1e-10);
+  const auto h2 = cluster::ServiceShape::hyperexponential(10.0).make(mean);
+  EXPECT_NEAR(h2.mean(), mean, 1e-10);
+  EXPECT_NEAR(h2.scv(), 10.0, 1e-8);
+  const auto fit = cluster::ServiceShape::from_scv(0.5).make(mean);
+  EXPECT_NEAR(fit.scv(), 0.5, 1e-8);
+  const auto tpt = cluster::ServiceShape::power_tail(1.4).make(mean);
+  EXPECT_NEAR(tpt.mean(), mean, 1e-9);
+}
+
+TEST(CentralCluster, StationLayout) {
+  cluster::ApplicationModel app;
+  const net::NetworkSpec spec = cluster::central_cluster(6, app);
+  ASSERT_EQ(spec.num_stations(), 4u);
+  EXPECT_EQ(spec.station(0).name, "CPU");
+  EXPECT_EQ(spec.station(0).multiplicity, 6u);   // dedicated
+  EXPECT_EQ(spec.station(1).multiplicity, 6u);   // dedicated
+  EXPECT_EQ(spec.station(2).multiplicity, 1u);   // shared comm
+  EXPECT_EQ(spec.station(3).multiplicity, 1u);   // shared central disk
+}
+
+TEST(CentralCluster, NoContentionReplicatesSharedDevices) {
+  cluster::ApplicationModel app;
+  const net::NetworkSpec spec = cluster::central_cluster(
+      6, app, {}, cluster::Contention::kNone);
+  EXPECT_EQ(spec.station(2).multiplicity, 6u);
+  EXPECT_EQ(spec.station(3).multiplicity, 6u);
+}
+
+TEST(CentralCluster, MeanTaskTimePreservedAcrossShapes) {
+  cluster::ApplicationModel app;
+  for (double scv : {0.5, 1.0, 10.0, 50.0}) {
+    cluster::ClusterShapes shapes;
+    shapes.remote_disk = cluster::ServiceShape::from_scv(scv);
+    shapes.cpu = cluster::ServiceShape::from_scv(scv);
+    const net::NetworkSpec spec = cluster::central_cluster(4, app, shapes);
+    EXPECT_NEAR(spec.single_customer().mean_task_time, 12.0, 1e-8) << scv;
+  }
+}
+
+TEST(CentralCluster, RoutingProbabilitiesMatchAppModel) {
+  cluster::ApplicationModel app;
+  const net::NetworkSpec spec = cluster::central_cluster(4, app);
+  const double q = app.q();
+  EXPECT_NEAR(spec.exit()[0], q, 1e-12);
+  EXPECT_NEAR(spec.routing()(0, 1), (1.0 - q) * app.p1(), 1e-12);
+  EXPECT_NEAR(spec.routing()(0, 2), (1.0 - q) * app.p2(), 1e-12);
+  EXPECT_NEAR(spec.routing()(2, 3), 1.0, 1e-12);
+  EXPECT_NEAR(spec.routing()(3, 0), 1.0, 1e-12);
+}
+
+TEST(CentralCluster, GuardsZeroWorkstations) {
+  cluster::ApplicationModel app;
+  EXPECT_THROW((void)cluster::central_cluster(0, app), std::invalid_argument);
+}
+
+TEST(DistributedCluster, StationLayout) {
+  cluster::ApplicationModel app;
+  const net::NetworkSpec spec = cluster::distributed_cluster(5, app);
+  ASSERT_EQ(spec.num_stations(), 8u);  // CPU, LDisk, Comm, D1..D5
+  EXPECT_EQ(spec.station(3).name, "D1");
+  EXPECT_EQ(spec.station(7).name, "D5");
+  EXPECT_EQ(spec.station(3).multiplicity, 1u);
+}
+
+TEST(DistributedCluster, UniformAllocationByDefault) {
+  cluster::ApplicationModel app;
+  const net::NetworkSpec spec = cluster::distributed_cluster(4, app);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(spec.routing()(2, 3 + i), 0.25, 1e-12);
+  }
+}
+
+TEST(DistributedCluster, CustomAllocation) {
+  cluster::ApplicationModel app;
+  const std::vector<double> alloc{0.7, 0.1, 0.1, 0.1};
+  const net::NetworkSpec spec =
+      cluster::distributed_cluster(4, app, {}, alloc);
+  EXPECT_NEAR(spec.routing()(2, 3), 0.7, 1e-12);
+  // Mean task time is allocation-invariant (same disk speed everywhere).
+  EXPECT_NEAR(spec.single_customer().mean_task_time, 12.0, 1e-9);
+}
+
+TEST(DistributedCluster, AllocationValidation) {
+  cluster::ApplicationModel app;
+  EXPECT_THROW((void)cluster::distributed_cluster(3, app, {}, {0.5, 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW((void)cluster::distributed_cluster(2, app, {}, {0.7, 0.7}),
+               std::invalid_argument);
+  EXPECT_THROW((void)cluster::distributed_cluster(2, app, {}, {-0.5, 1.5}),
+               std::invalid_argument);
+}
+
+TEST(DistributedCluster, SameSingleTaskTimeAsCentral) {
+  // A lone task sees identical time totals in both architectures.
+  cluster::ApplicationModel app;
+  const double central =
+      cluster::central_cluster(5, app).single_customer().mean_task_time;
+  const double dist =
+      cluster::distributed_cluster(5, app).single_customer().mean_task_time;
+  EXPECT_NEAR(central, dist, 1e-9);
+}
+
+TEST(DistributedCluster, SpreadsRemoteLoad) {
+  // With contention, distributing storage must beat the central bottleneck
+  // in steady-state inter-departure time.
+  cluster::ApplicationModel app;
+  app.remote_share = 0.45;  // make the remote path hot
+  const finwork::core::TransientSolver central(
+      cluster::central_cluster(5, app), 5);
+  const finwork::core::TransientSolver dist(
+      cluster::distributed_cluster(5, app), 5);
+  EXPECT_LT(dist.steady_state().interdeparture,
+            central.steady_state().interdeparture);
+}

@@ -1,0 +1,146 @@
+// Tests for the figure experiment drivers: table shapes and the qualitative
+// relationships each figure depends on.
+
+#include "cluster/experiments.h"
+
+#include <gtest/gtest.h>
+
+namespace cluster = finwork::cluster;
+
+namespace {
+
+cluster::ExperimentConfig small_central() {
+  cluster::ExperimentConfig cfg;
+  cfg.architecture = cluster::Architecture::kCentral;
+  cfg.workstations = 3;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Experiments, BuildClusterDispatch) {
+  cluster::ExperimentConfig cfg = small_central();
+  EXPECT_EQ(cluster::build_cluster(cfg).num_stations(), 4u);
+  cfg.architecture = cluster::Architecture::kDistributed;
+  EXPECT_EQ(cluster::build_cluster(cfg).num_stations(), 6u);
+}
+
+TEST(Experiments, MakespanAndSpeedupConsistent) {
+  const cluster::ExperimentConfig cfg = small_central();
+  const double makespan = cluster::cluster_makespan(cfg, 12);
+  const double sp = cluster::cluster_speedup(cfg, 12);
+  EXPECT_NEAR(sp, 12.0 * cfg.app.task_mean_time() / makespan, 1e-12);
+}
+
+TEST(Experiments, PredictionErrorZeroForExponential) {
+  // Exponentializing an already exponential cluster changes nothing.
+  EXPECT_NEAR(cluster::cluster_prediction_error(small_central(), 10), 0.0,
+              1e-8);
+}
+
+TEST(Experiments, PredictionErrorPositiveForHighVariance) {
+  cluster::ExperimentConfig cfg = small_central();
+  cfg.shapes.remote_disk = cluster::ServiceShape::hyperexponential(20.0);
+  EXPECT_GT(cluster::cluster_prediction_error(cfg, 30), 1.0);
+}
+
+TEST(Experiments, InterdepartureSeriesShape) {
+  const std::vector<cluster::ShapeVariant> variants = {
+      {"Exp", {}},
+      {"H2", [] {
+         cluster::ClusterShapes s;
+         s.remote_disk = cluster::ServiceShape::hyperexponential(10.0);
+         return s;
+       }()},
+  };
+  const auto table =
+      cluster::interdeparture_series(small_central(), variants, 12);
+  ASSERT_EQ(table.num_columns(), 3u);
+  ASSERT_EQ(table.num_rows(), 12u);
+  // Task order column is 1..N.
+  EXPECT_DOUBLE_EQ(table.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(table.at(11, 0), 12.0);
+  // All epoch times positive.
+  for (std::size_t r = 0; r < 12; ++r) {
+    EXPECT_GT(table.at(r, 1), 0.0);
+    EXPECT_GT(table.at(r, 2), 0.0);
+  }
+}
+
+TEST(Experiments, SteadyStateVsScvShape) {
+  const auto table =
+      cluster::steady_state_vs_scv(small_central(), {1.0, 10.0, 30.0});
+  ASSERT_EQ(table.num_rows(), 3u);
+  ASSERT_EQ(table.num_columns(), 3u);
+  // Contention: t_ss grows with C2 beyond some point; at least it must
+  // exceed the no-contention value which stays flat.
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_GE(table.at(r, 1), table.at(r, 2) - 1e-9);
+  }
+  // No contention is distribution-insensitive.
+  EXPECT_NEAR(table.at(0, 2), table.at(2, 2), 1e-6);
+}
+
+TEST(Experiments, PredictionErrorSweepShape) {
+  const auto table = cluster::prediction_error_vs_scv(
+      small_central(), {1.0, 10.0, 40.0}, {9, 30});
+  ASSERT_EQ(table.num_rows(), 3u);
+  ASSERT_EQ(table.num_columns(), 3u);
+  // C2 = 1 row is ~0 error.
+  EXPECT_NEAR(table.at(0, 1), 0.0, 1e-6);
+  EXPECT_NEAR(table.at(0, 2), 0.0, 1e-6);
+  // Error grows with C2.
+  EXPECT_GT(table.at(2, 2), table.at(1, 2));
+  EXPECT_GT(table.at(1, 2), table.at(0, 2));
+}
+
+TEST(Experiments, SpeedupSweepDecreasesWithScv) {
+  const auto table =
+      cluster::speedup_vs_scv(small_central(), {1.0, 20.0, 60.0}, {30});
+  ASSERT_EQ(table.num_rows(), 3u);
+  EXPECT_GT(table.at(0, 1), table.at(1, 1));
+  EXPECT_GT(table.at(1, 1), table.at(2, 1));
+}
+
+TEST(Experiments, CpuScvSweepUsesDedicatedServers) {
+  const auto table = cluster::prediction_error_vs_cpu_scv(
+      small_central(), {1.0 / 3.0, 1.0, 5.0}, {20});
+  ASSERT_EQ(table.num_rows(), 3u);
+  // Erlang CPU (C2 < 1): small error; H2 CPU: larger positive error.
+  EXPECT_NEAR(table.at(1, 1), 0.0, 1e-6);
+  EXPECT_GT(table.at(2, 1), table.at(1, 1));
+}
+
+TEST(Experiments, SpeedupVsKGrowsWithTasks) {
+  const auto table = cluster::speedup_vs_k(small_central(), {1, 2, 4}, {8, 40});
+  ASSERT_EQ(table.num_rows(), 3u);
+  ASSERT_EQ(table.num_columns(), 3u);
+  // K = 1 speedup is exactly 1.
+  EXPECT_NEAR(table.at(0, 1), 1.0, 1e-9);
+  EXPECT_NEAR(table.at(0, 2), 1.0, 1e-9);
+  // Bigger workloads exploit the cluster better (steady region dominates).
+  EXPECT_GT(table.at(2, 2), table.at(2, 1));
+}
+
+TEST(Experiments, SpeedupVsKShapesOrdersDistributions) {
+  const std::vector<cluster::ShapeVariant> variants = {
+      {"Exp", {}},
+      {"E2", [] {
+         cluster::ClusterShapes s;
+         s.cpu = cluster::ServiceShape::erlang(2);
+         return s;
+       }()},
+      {"H2", [] {
+         cluster::ClusterShapes s;
+         s.cpu = cluster::ServiceShape::hyperexponential(2.0);
+         return s;
+       }()},
+  };
+  const auto table =
+      cluster::speedup_vs_k_shapes(small_central(), {2, 4}, variants, 30);
+  ASSERT_EQ(table.num_rows(), 2u);
+  ASSERT_EQ(table.num_columns(), 4u);
+  // H2 CPU lowers speedup versus Exp; E2 does not lower it.
+  EXPECT_GE(table.at(1, 2) + 1e-9, table.at(1, 3));
+  EXPECT_GE(table.at(1, 1) + 1e-9, table.at(1, 3));
+}

@@ -1,0 +1,89 @@
+// Tests for the scheduling-overhead extension and for multiprogramming
+// (more admitted tasks than workstations) — the two "more parameters can
+// always be added" hooks the paper's conclusion mentions.
+
+#include <gtest/gtest.h>
+
+#include "cluster/experiments.h"
+#include "core/transient_solver.h"
+#include "pf/product_form.h"
+
+namespace cluster = finwork::cluster;
+namespace core = finwork::core;
+namespace pf = finwork::pf;
+
+TEST(SchedulerOverhead, AddsDispatcherStation) {
+  cluster::ApplicationModel app;
+  app.scheduler_overhead = 0.1;
+  const auto central = cluster::central_cluster(4, app);
+  ASSERT_EQ(central.num_stations(), 5u);
+  EXPECT_EQ(central.station(4).name, "Sched");
+  EXPECT_EQ(central.station(4).multiplicity, 1u);
+  // Entry goes through the scheduler.
+  EXPECT_DOUBLE_EQ(central.entry()[4], 1.0);
+  const auto dist = cluster::distributed_cluster(3, app);
+  ASSERT_EQ(dist.num_stations(), 7u);
+  EXPECT_EQ(dist.station(6).name, "Sched");
+}
+
+TEST(SchedulerOverhead, ZeroOverheadKeepsLayout) {
+  cluster::ApplicationModel app;
+  const auto spec = cluster::central_cluster(4, app);
+  EXPECT_EQ(spec.num_stations(), 4u);
+}
+
+TEST(SchedulerOverhead, SingleTaskTimeIncludesOverhead) {
+  cluster::ApplicationModel app;
+  app.scheduler_overhead = 0.25;
+  EXPECT_NEAR(app.task_mean_time(), 12.25, 1e-12);
+  const auto spec = cluster::central_cluster(3, app);
+  EXPECT_NEAR(spec.single_customer().mean_task_time, 12.25, 1e-9);
+}
+
+TEST(SchedulerOverhead, SharedDispatcherHurtsLargeClusters) {
+  // A serial dispatcher is a scalability ceiling: its damage grows with K.
+  cluster::ApplicationModel with;
+  with.scheduler_overhead = 0.4;
+  cluster::ApplicationModel without;
+
+  auto speedup_at = [&](std::size_t k, const cluster::ApplicationModel& app) {
+    cluster::ExperimentConfig cfg;
+    cfg.workstations = k;
+    cfg.app = app;
+    return cluster::cluster_speedup(cfg, 60);
+  };
+  const double loss4 = speedup_at(4, without) - speedup_at(4, with);
+  const double loss8 = speedup_at(8, without) - speedup_at(8, with);
+  EXPECT_GT(loss4, 0.0);
+  EXPECT_GT(loss8, loss4);
+}
+
+TEST(SchedulerOverhead, NegativeRejected) {
+  cluster::ApplicationModel app;
+  app.scheduler_overhead = -0.1;
+  EXPECT_THROW((void)app.validate(), std::invalid_argument);
+}
+
+TEST(Multiprogramming, AdmittingMoreTasksThanWorkstations) {
+  // Multiprogramming level L > K: the CPU bank (multiplicity K) saturates
+  // and extra admitted tasks queue at it.  The exponential model supports
+  // this directly; throughput must not decrease with L.
+  cluster::ApplicationModel app;
+  const auto spec = cluster::central_cluster(4, app);
+  const core::TransientSolver at_k(spec, 4);
+  const core::TransientSolver at_2k(spec, 8);
+  const double x_k = at_k.steady_state().throughput;
+  const double x_2k = at_2k.steady_state().throughput;
+  EXPECT_GE(x_2k, x_k - 1e-9);
+  // And it still agrees with product form (CPU bank becomes an M/M/4 node).
+  EXPECT_NEAR(x_2k, pf::convolution(spec, 8).system_throughput, 1e-8);
+}
+
+TEST(Multiprogramming, DiminishingReturnsBeyondSaturation) {
+  cluster::ApplicationModel app;
+  const auto spec = cluster::central_cluster(3, app);
+  const double x1 = core::TransientSolver(spec, 3).steady_state().throughput;
+  const double x2 = core::TransientSolver(spec, 6).steady_state().throughput;
+  const double x3 = core::TransientSolver(spec, 9).steady_state().throughput;
+  EXPECT_GT(x2 - x1, x3 - x2);  // concave in the multiprogramming level
+}

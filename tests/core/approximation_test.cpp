@@ -1,0 +1,121 @@
+// Tests for the steady-state approximation (companion-paper [17] style).
+
+#include "core/approximation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/experiments.h"
+
+namespace core = finwork::core;
+namespace cluster = finwork::cluster;
+
+namespace {
+
+core::TransientSolver make_solver(std::size_t k, double remote_scv) {
+  cluster::ExperimentConfig cfg;
+  cfg.workstations = k;
+  if (remote_scv != 1.0) {
+    cfg.shapes.remote_disk = cluster::ServiceShape::from_scv(remote_scv);
+  }
+  return core::TransientSolver(cluster::build_cluster(cfg), k);
+}
+
+}  // namespace
+
+TEST(Approximation, ExactWhenWarmupCoversAllEpochs) {
+  const auto solver = make_solver(4, 10.0);
+  core::ApproximationOptions opts;
+  opts.warmup_epochs = 1000;  // > N - K + 1
+  const auto approx = core::approximate_makespan(solver, 25, opts);
+  EXPECT_NEAR(approx.makespan, solver.makespan(25), 1e-8);
+  EXPECT_EQ(approx.exact_epochs, 22u);
+}
+
+TEST(Approximation, PureDrainingIsExact) {
+  const auto solver = make_solver(5, 5.0);
+  const auto approx = core::approximate_makespan(solver, 5);
+  EXPECT_NEAR(approx.makespan, solver.makespan(5), 1e-10);
+  const auto small = core::approximate_makespan(solver, 3);
+  EXPECT_NEAR(small.makespan, solver.makespan(3), 1e-10);
+}
+
+TEST(Approximation, AccurateForModerateWorkloads) {
+  const auto solver = make_solver(5, 10.0);
+  for (std::size_t n : {20u, 50u, 150u}) {
+    const double exact = solver.makespan(n);
+    const auto approx = core::approximate_makespan(solver, n);
+    EXPECT_NEAR(approx.makespan, exact, 0.005 * exact) << n;
+  }
+}
+
+TEST(Approximation, RelativeErrorVanishesWithWorkload) {
+  const auto solver = make_solver(5, 20.0);
+  core::ApproximationOptions opts;
+  opts.warmup_epochs = 0;  // worst case: no exact epochs at all
+  const double e30 =
+      std::abs(core::approximate_makespan(solver, 30, opts).makespan -
+               solver.makespan(30)) /
+      solver.makespan(30);
+  const double e300 =
+      std::abs(core::approximate_makespan(solver, 300, opts).makespan -
+               solver.makespan(300)) /
+      solver.makespan(300);
+  EXPECT_LT(e300, e30);
+  EXPECT_LT(e300, 1e-3);
+}
+
+TEST(Approximation, WarmupImprovesAccuracy) {
+  const auto solver = make_solver(6, 30.0);
+  const double exact = solver.makespan(40);
+  core::ApproximationOptions none, some;
+  none.warmup_epochs = 0;
+  some.warmup_epochs = 10;
+  const double err_none =
+      std::abs(core::approximate_makespan(solver, 40, none).makespan - exact);
+  const double err_some =
+      std::abs(core::approximate_makespan(solver, 40, some).makespan - exact);
+  EXPECT_LE(err_some, err_none + 1e-12);
+}
+
+TEST(Approximation, DecompositionAddsUp) {
+  const auto solver = make_solver(4, 5.0);
+  const auto approx = core::approximate_makespan(solver, 30);
+  EXPECT_NEAR(approx.makespan,
+              approx.warmup_time + approx.saturated_time + approx.draining_time,
+              1e-12);
+  EXPECT_GT(approx.warmup_time, 0.0);
+  EXPECT_GT(approx.saturated_time, 0.0);
+  EXPECT_GT(approx.draining_time, 0.0);
+}
+
+TEST(Approximation, Guards) {
+  const auto solver = make_solver(2, 1.0);
+  EXPECT_THROW((void)core::approximate_makespan(solver, 0),
+               std::invalid_argument);
+}
+
+TEST(ProductFormEstimate, ExactForExponentialSteadyDominatedLimit) {
+  cluster::ExperimentConfig cfg;
+  cfg.workstations = 5;
+  const auto spec = cluster::build_cluster(cfg);
+  const core::TransientSolver solver(spec, 5);
+  const double estimate = core::product_form_makespan_estimate(spec, 5, 400);
+  const double exact = solver.makespan(400);
+  EXPECT_NEAR(estimate, exact, 0.01 * exact);
+}
+
+TEST(ProductFormEstimate, UnderestimatesHighVarianceClusters) {
+  // The PF estimate uses only means, so it inherits the exponential
+  // assumption's optimism on H2 storage.
+  cluster::ExperimentConfig cfg;
+  cfg.workstations = 5;
+  cfg.shapes.remote_disk = cluster::ServiceShape::hyperexponential(50.0);
+  const auto spec = cluster::build_cluster(cfg);
+  const core::TransientSolver solver(spec, 5);
+  EXPECT_LT(core::product_form_makespan_estimate(spec, 5, 100),
+            solver.makespan(100));
+  EXPECT_THROW((void)core::product_form_makespan_estimate(spec, 5, 0),
+               std::invalid_argument);
+}

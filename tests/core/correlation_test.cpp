@@ -1,0 +1,143 @@
+// Tests for the departure-process lag-1 correlation and the task-time
+// phase-type view of a network.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/experiments.h"
+#include "core/transient_solver.h"
+#include "sim/simulator.h"
+#include "stats/online_stats.h"
+
+namespace core = finwork::core;
+namespace net = finwork::net;
+namespace ph = finwork::ph;
+namespace la = finwork::la;
+namespace cluster = finwork::cluster;
+
+namespace {
+
+net::NetworkSpec one_station(ph::PhaseType svc, std::size_t mult) {
+  std::vector<net::Station> st{{"S", std::move(svc), mult}};
+  return net::NetworkSpec(std::move(st), la::Vector{1.0}, la::Matrix(1, 1, 0.0),
+                          la::Vector{1.0});
+}
+
+}  // namespace
+
+TEST(DepartureCorrelation, SaturatedExponentialServerIsMemoryless) {
+  // Output of a saturated M server is a Poisson stream: iid gaps.
+  const core::TransientSolver solver(
+      one_station(ph::PhaseType::exponential(2.0), 1), 4);
+  const auto dc = solver.steady_state_lag1();
+  EXPECT_NEAR(dc.covariance, 0.0, 1e-12);
+  EXPECT_NEAR(dc.correlation, 0.0, 1e-10);
+}
+
+TEST(DepartureCorrelation, ForkJoinExponentialAlsoMemoryless) {
+  // Saturated ample exponential bank: min-of-K exponentials renews itself.
+  const core::TransientSolver solver(
+      one_station(ph::PhaseType::exponential(1.0), 4), 4);
+  const auto dc = solver.steady_state_lag1();
+  EXPECT_NEAR(dc.correlation, 0.0, 1e-10);
+}
+
+TEST(DepartureCorrelation, SharedH2ProducesPositiveCorrelation) {
+  // A slow H2 branch holds the shared disk for a while: consecutive gaps
+  // are both long — positive autocorrelation.
+  cluster::ExperimentConfig cfg;
+  cfg.workstations = 5;
+  cfg.app.remote_time = 2.0;  // heavier shared load strengthens the effect
+  cfg.app.local_time = 12.0 - 1.25 * cfg.app.remote_time;
+  cfg.shapes.remote_disk = cluster::ServiceShape::hyperexponential(20.0);
+  const core::TransientSolver solver(cluster::build_cluster(cfg), 5);
+  const auto dc = solver.steady_state_lag1();
+  // The closed network's feedback keeps the lag-1 dependence modest, but it
+  // is strictly positive (simulation-validated in MatchesSimulation below).
+  EXPECT_GT(dc.correlation, 0.005);
+  EXPECT_LT(dc.correlation, 1.0);
+  // And it grows with contention: the default (lighter) load correlates less.
+  cluster::ExperimentConfig light = cfg;
+  light.app = {};
+  const core::TransientSolver light_solver(cluster::build_cluster(light), 5);
+  EXPECT_LT(light_solver.steady_state_lag1().correlation, dc.correlation);
+}
+
+TEST(DepartureCorrelation, MatchesSimulation) {
+  cluster::ExperimentConfig cfg;
+  cfg.workstations = 4;
+  cfg.shapes.remote_disk = cluster::ServiceShape::hyperexponential(15.0);
+  const net::NetworkSpec spec = cluster::build_cluster(cfg);
+  const core::TransientSolver solver(spec, 4);
+  const auto dc = solver.steady_state_lag1();
+
+  // Empirical lag-1 correlation of mid-stream gaps.
+  finwork::sim::NetworkSimulator simulator(spec, 4);
+  finwork::rng::Xoshiro256 root(99);
+  finwork::stats::OnlineStats x, y;
+  double sum_xy = 0.0;
+  std::size_t count = 0;
+  const std::size_t reps = 4000;
+  for (std::size_t r = 0; r < reps; ++r) {
+    finwork::rng::Xoshiro256 g = root.split(r);
+    const auto dep = simulator.run_once(60, g);
+    // gaps 30 and 31: well inside steady state
+    const double g1 = dep[30] - dep[29];
+    const double g2 = dep[31] - dep[30];
+    x.add(g1);
+    y.add(g2);
+    sum_xy += g1 * g2;
+    ++count;
+  }
+  const double cov_emp =
+      sum_xy / static_cast<double>(count) - x.mean() * y.mean();
+  const double corr_emp = cov_emp / (x.stddev() * y.stddev());
+  EXPECT_NEAR(corr_emp, dc.correlation, 0.05);
+}
+
+TEST(TaskTimeDistribution, MeanMatchesSingleCustomerView) {
+  cluster::ApplicationModel app;
+  const net::NetworkSpec spec = cluster::central_cluster(4, app);
+  const ph::PhaseType task = spec.task_time_distribution();
+  EXPECT_NEAR(task.mean(), 12.0, 1e-9);
+  EXPECT_EQ(task.phases(), 4u);
+}
+
+TEST(TaskTimeDistribution, GranularityControlsTaskScv) {
+  // The calibration story behind Figures 10-15: with H2 CPUs, a
+  // coarse-grained task (2 cycles) inherits far more of the per-visit C^2
+  // than a fine-grained one (20 cycles).
+  cluster::ClusterShapes shapes;
+  shapes.cpu = cluster::ServiceShape::hyperexponential(10.0);
+  const double fine_scv =
+      cluster::central_cluster(3, cluster::ApplicationModel::fine_grained(),
+                               shapes)
+          .task_time_distribution()
+          .scv();
+  const double coarse_scv =
+      cluster::central_cluster(3, cluster::ApplicationModel::coarse_grained(),
+                               shapes)
+          .task_time_distribution()
+          .scv();
+  EXPECT_GT(coarse_scv, 1.5 * fine_scv);
+}
+
+TEST(TaskTimeDistribution, SamplableAndConsistent) {
+  cluster::ApplicationModel app;
+  const ph::PhaseType task =
+      cluster::central_cluster(3, app).task_time_distribution();
+  finwork::rng::Xoshiro256 g(5);
+  finwork::stats::OnlineStats s;
+  for (int i = 0; i < 50000; ++i) s.add(task.sample(g));
+  EXPECT_NEAR(s.mean(), task.mean(), 5.0 * s.std_error());
+  EXPECT_NEAR(s.variance(), task.variance(), 0.08 * task.variance());
+}
+
+TEST(TaskTimeDistribution, QuantilesBracketMean) {
+  cluster::ApplicationModel app;
+  const ph::PhaseType task =
+      cluster::central_cluster(3, app).task_time_distribution();
+  EXPECT_LT(task.cdf(0.25 * task.mean()), 0.5);
+  EXPECT_GT(task.cdf(3.0 * task.mean()), 0.9);
+}

@@ -1,0 +1,111 @@
+// Tests for region classification, prediction error and speedup metrics.
+
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/experiments.h"
+
+namespace core = finwork::core;
+namespace cluster = finwork::cluster;
+
+namespace {
+
+core::DepartureTimeline synthetic_timeline() {
+  core::DepartureTimeline tl;
+  tl.workstations = 4;
+  tl.tasks = 10;
+  // Warm-up 2 epochs, steady 5 epochs at 1.0, draining 3 epochs.
+  tl.epoch_times = {0.5, 0.8, 1.0, 1.0, 1.0, 1.0, 1.0, 1.5, 2.0, 4.0};
+  tl.population = {4, 4, 4, 4, 4, 4, 4, 3, 2, 1};
+  double acc = 0.0;
+  for (double t : tl.epoch_times) {
+    acc += t;
+    tl.cumulative.push_back(acc);
+  }
+  tl.makespan = acc;
+  return tl;
+}
+
+}  // namespace
+
+TEST(Metrics, ClassifyRegionsSyntheticTimeline) {
+  const auto tl = synthetic_timeline();
+  const core::RegionAnalysis ra = core::classify_regions(tl, 1.0, 0.02);
+  EXPECT_EQ(ra.drain_begin, 7u);
+  EXPECT_EQ(ra.steady_begin, 2u);
+  EXPECT_EQ(ra.regions[0], core::Region::kTransient);
+  EXPECT_EQ(ra.regions[1], core::Region::kTransient);
+  EXPECT_EQ(ra.regions[2], core::Region::kSteadyState);
+  EXPECT_EQ(ra.regions[6], core::Region::kSteadyState);
+  EXPECT_EQ(ra.regions[7], core::Region::kDraining);
+  EXPECT_EQ(ra.regions[9], core::Region::kDraining);
+}
+
+TEST(Metrics, RegionFractionsSumToOne) {
+  const auto tl = synthetic_timeline();
+  const core::RegionAnalysis ra = core::classify_regions(tl, 1.0);
+  EXPECT_NEAR(
+      ra.transient_fraction + ra.steady_fraction + ra.draining_fraction, 1.0,
+      1e-12);
+  EXPECT_NEAR(ra.transient_fraction, 1.3 / tl.makespan, 1e-12);
+  EXPECT_NEAR(ra.draining_fraction, 7.5 / tl.makespan, 1e-12);
+}
+
+TEST(Metrics, ClassifyRegionsAllSteady) {
+  core::DepartureTimeline tl;
+  tl.workstations = 2;
+  tl.tasks = 4;
+  tl.epoch_times = {1.0, 1.0, 1.0, 1.0};
+  tl.population = {2, 2, 2, 2};
+  tl.cumulative = {1.0, 2.0, 3.0, 4.0};
+  tl.makespan = 4.0;
+  const core::RegionAnalysis ra = core::classify_regions(tl, 1.0);
+  EXPECT_EQ(ra.steady_begin, 0u);
+  EXPECT_EQ(ra.drain_begin, 4u);
+  EXPECT_DOUBLE_EQ(ra.steady_fraction, 1.0);
+}
+
+TEST(Metrics, ClassifyRegionsEmptyThrows) {
+  core::DepartureTimeline tl;
+  EXPECT_THROW((void)core::classify_regions(tl, 1.0), std::invalid_argument);
+}
+
+TEST(Metrics, ClassifyRegionsRealTimeline) {
+  // Real solver timeline: high-C2 shared disk makes a visible warm-up.
+  cluster::ExperimentConfig cfg;
+  cfg.workstations = 5;
+  cfg.shapes.remote_disk = cluster::ServiceShape::hyperexponential(10.0);
+  const finwork::core::TransientSolver solver(cluster::build_cluster(cfg), 5);
+  const auto tl = solver.solve(40);
+  const auto ra =
+      core::classify_regions(tl, solver.steady_state().interdeparture);
+  EXPECT_GT(ra.steady_begin, 0u);          // there is a warm-up
+  EXPECT_EQ(ra.drain_begin, 36u);          // population drops below 5 here
+  EXPECT_GT(ra.steady_fraction, 0.3);      // N = 40 >> K: steady dominates
+}
+
+TEST(Metrics, PredictionErrorSignAndScale) {
+  EXPECT_DOUBLE_EQ(core::prediction_error_percent(100.0, 80.0), 20.0);
+  EXPECT_DOUBLE_EQ(core::prediction_error_percent(100.0, 120.0), -20.0);
+  EXPECT_DOUBLE_EQ(core::prediction_error_percent(50.0, 50.0), 0.0);
+  EXPECT_THROW((void)core::prediction_error_percent(0.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Metrics, SpeedupDefinition) {
+  EXPECT_DOUBLE_EQ(core::speedup(10, 12.0, 40.0), 3.0);
+  EXPECT_DOUBLE_EQ(core::speedup(1, 12.0, 12.0), 1.0);
+  EXPECT_THROW((void)core::speedup(1, 12.0, 0.0), std::invalid_argument);
+}
+
+TEST(Metrics, SpeedupBoundedByWorkstations) {
+  // Physical sanity on the real model: 1 <= SP <= K.
+  for (std::size_t k : {2u, 4u, 8u}) {
+    cluster::ExperimentConfig cfg;
+    cfg.workstations = k;
+    const double sp = cluster::cluster_speedup(cfg, 100);
+    EXPECT_GE(sp, 1.0) << k;
+    EXPECT_LE(sp, static_cast<double>(k)) << k;
+  }
+}

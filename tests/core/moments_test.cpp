@@ -1,0 +1,184 @@
+// Tests for the variance extension: epoch second moments, epoch-duration
+// reliability, and full makespan moments, against closed forms and the
+// simulator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/experiments.h"
+#include "core/transient_solver.h"
+#include "sim/simulator.h"
+
+namespace core = finwork::core;
+namespace net = finwork::net;
+namespace ph = finwork::ph;
+namespace la = finwork::la;
+namespace cluster = finwork::cluster;
+
+namespace {
+
+net::NetworkSpec one_station(ph::PhaseType svc, std::size_t mult) {
+  std::vector<net::Station> st{{"S", std::move(svc), mult}};
+  return net::NetworkSpec(std::move(st), la::Vector{1.0}, la::Matrix(1, 1, 0.0),
+                          la::Vector{1.0});
+}
+
+}  // namespace
+
+TEST(EpochMoments, SharedExponentialSecondMoment) {
+  // First passage to a departure from a busy M server is Exp(rate):
+  // E[T^2] = 2 / rate^2 at every population.
+  const core::TransientSolver solver(
+      one_station(ph::PhaseType::exponential(4.0), 1), 3);
+  for (std::size_t k = 1; k <= 3; ++k) {
+    la::Vector pi(solver.space().dimension(k), 0.0);
+    pi[0] = 1.0;
+    EXPECT_NEAR(solver.epoch_second_moment(k, pi), 2.0 / 16.0, 1e-12) << k;
+  }
+}
+
+TEST(EpochMoments, ForkJoinFirstDepartureIsExponentialMin) {
+  // K ample exponential servers: first departure ~ Exp(K lambda):
+  // E[T^2] = 2/(K lambda)^2, R(t) = exp(-K lambda t).
+  const double lambda = 1.5;
+  const std::size_t k = 4;
+  const core::TransientSolver solver(
+      one_station(ph::PhaseType::exponential(lambda), k), k);
+  const la::Vector pi = solver.initial_vector();
+  const double rate = static_cast<double>(k) * lambda;
+  EXPECT_NEAR(solver.epoch_second_moment(k, pi), 2.0 / (rate * rate), 1e-10);
+  for (double t : {0.05, 0.2, 0.5}) {
+    EXPECT_NEAR(solver.epoch_reliability(k, pi, t), std::exp(-rate * t), 1e-8)
+        << t;
+  }
+}
+
+TEST(EpochMoments, ReliabilityIntegratesToMean) {
+  cluster::ExperimentConfig cfg;
+  cfg.workstations = 4;
+  cfg.shapes.remote_disk = cluster::ServiceShape::hyperexponential(5.0);
+  const core::TransientSolver solver(cluster::build_cluster(cfg), 4);
+  const la::Vector pi = solver.initial_vector();
+  const double mean = solver.mean_epoch_time(4, pi);
+  // Trapezoid of R(t) over [0, 30*mean].
+  const int steps = 600;
+  const double h = 30.0 * mean / steps;
+  double integral = 0.0;
+  double prev = solver.epoch_reliability(4, pi, 0.0);
+  for (int i = 1; i <= steps; ++i) {
+    const double cur = solver.epoch_reliability(4, pi, i * h);
+    integral += 0.5 * h * (prev + cur);
+    prev = cur;
+  }
+  EXPECT_NEAR(integral, mean, 0.01 * mean);
+}
+
+TEST(EpochMoments, ReliabilityMonotoneAndBounded) {
+  cluster::ExperimentConfig cfg;
+  cfg.workstations = 3;
+  const core::TransientSolver solver(cluster::build_cluster(cfg), 3);
+  const la::Vector pi = solver.initial_vector();
+  double prev = 1.0;
+  for (double t = 0.0; t <= 10.0; t += 0.5) {
+    const double r = solver.epoch_reliability(3, pi, t);
+    EXPECT_LE(r, prev + 1e-9);
+    EXPECT_GE(r, 0.0);
+    prev = r;
+  }
+  EXPECT_THROW((void)solver.epoch_reliability(3, pi, -1.0),
+               std::invalid_argument);
+}
+
+TEST(MakespanMoments, SerialWorkIsErlangSum) {
+  // K = 1, N tasks on Exp(lambda): T ~ Erlang(N, lambda).
+  const double lambda = 2.0;
+  const core::TransientSolver solver(
+      one_station(ph::PhaseType::exponential(lambda), 1), 1);
+  const core::MakespanMoments mm = solver.makespan_moments(10);
+  EXPECT_NEAR(mm.mean, 10.0 / lambda, 1e-10);
+  EXPECT_NEAR(mm.variance, 10.0 / (lambda * lambda), 1e-9);
+  EXPECT_NEAR(mm.scv, 0.1, 1e-9);
+}
+
+TEST(MakespanMoments, SharedServerIsErlangToo) {
+  // One shared server, any K: N exponential services back to back.
+  const core::TransientSolver solver(
+      one_station(ph::PhaseType::exponential(1.0), 1), 4);
+  const core::MakespanMoments mm = solver.makespan_moments(9);
+  EXPECT_NEAR(mm.mean, 9.0, 1e-9);
+  EXPECT_NEAR(mm.variance, 9.0, 1e-8);
+}
+
+TEST(MakespanMoments, ForkJoinMaxOfExponentials) {
+  // N = K on private servers: T = max of K Exp(lambda);
+  // Var = sum 1/(i lambda)^2.
+  const double lambda = 0.8;
+  const std::size_t k = 5;
+  const core::TransientSolver solver(
+      one_station(ph::PhaseType::exponential(lambda), k), k);
+  const core::MakespanMoments mm = solver.makespan_moments(k);
+  double mean = 0.0, var = 0.0;
+  for (std::size_t i = 1; i <= k; ++i) {
+    mean += 1.0 / (lambda * static_cast<double>(i));
+    var += 1.0 / std::pow(lambda * static_cast<double>(i), 2);
+  }
+  EXPECT_NEAR(mm.mean, mean, 1e-10);
+  EXPECT_NEAR(mm.variance, var, 1e-9);
+}
+
+TEST(MakespanMoments, MeanMatchesEpochRecursion) {
+  cluster::ExperimentConfig cfg;
+  cfg.workstations = 5;
+  cfg.shapes.remote_disk = cluster::ServiceShape::hyperexponential(10.0);
+  const core::TransientSolver solver(cluster::build_cluster(cfg), 5);
+  for (std::size_t n : {3u, 5u, 12u, 40u}) {
+    EXPECT_NEAR(solver.makespan_moments(n).mean, solver.makespan(n),
+                1e-9 * solver.makespan(n))
+        << n;
+  }
+}
+
+TEST(MakespanMoments, VarianceMatchesSimulation) {
+  cluster::ExperimentConfig cfg;
+  cfg.workstations = 4;
+  cfg.shapes.remote_disk = cluster::ServiceShape::hyperexponential(8.0);
+  const net::NetworkSpec spec = cluster::build_cluster(cfg);
+  const core::TransientSolver solver(spec, 4);
+  const core::MakespanMoments mm = solver.makespan_moments(20);
+
+  finwork::sim::NetworkSimulator simulator(spec, 4);
+  finwork::sim::SimulationOptions opts;
+  opts.replications = 20000;
+  const auto sr = simulator.run(20, opts);
+  EXPECT_NEAR(sr.makespan.mean(), mm.mean, 4.0 * sr.makespan.std_error());
+  // Sample variance of 20k reps is within ~6% of truth w.h.p.
+  EXPECT_NEAR(sr.makespan.variance(), mm.variance, 0.08 * mm.variance);
+}
+
+TEST(MakespanMoments, VarianceGrowsWithServiceVariance) {
+  cluster::ExperimentConfig exp_cfg;
+  exp_cfg.workstations = 4;
+  cluster::ExperimentConfig h2_cfg = exp_cfg;
+  h2_cfg.shapes.remote_disk = cluster::ServiceShape::hyperexponential(20.0);
+  const core::TransientSolver s_exp(cluster::build_cluster(exp_cfg), 4);
+  const core::TransientSolver s_h2(cluster::build_cluster(h2_cfg), 4);
+  EXPECT_GT(s_h2.makespan_moments(20).variance,
+            s_exp.makespan_moments(20).variance);
+}
+
+TEST(MakespanMoments, RelativeVariabilityShrinksWithWorkload) {
+  // Averaging over more tasks concentrates the makespan: scv decreases in N.
+  cluster::ExperimentConfig cfg;
+  cfg.workstations = 3;
+  const core::TransientSolver solver(cluster::build_cluster(cfg), 3);
+  const double scv10 = solver.makespan_moments(10).scv;
+  const double scv80 = solver.makespan_moments(80).scv;
+  EXPECT_LT(scv80, scv10);
+}
+
+TEST(MakespanMoments, Guards) {
+  const core::TransientSolver solver(
+      one_station(ph::PhaseType::exponential(1.0), 1), 1);
+  EXPECT_THROW((void)solver.makespan_moments(0), std::invalid_argument);
+}

@@ -1,0 +1,127 @@
+// Integration: the transient solver and the discrete-event simulator are two
+// independent implementations of the same stochastic model.  Their means
+// must agree within simulation confidence intervals across architectures,
+// service distributions and operating regions.
+
+#include <gtest/gtest.h>
+
+#include "cluster/experiments.h"
+#include "core/transient_solver.h"
+#include "sim/simulator.h"
+
+namespace cluster = finwork::cluster;
+namespace core = finwork::core;
+namespace sim = finwork::sim;
+
+namespace {
+
+struct Scenario {
+  const char* name;
+  cluster::Architecture arch;
+  std::size_t workstations;
+  std::size_t tasks;
+  double cpu_scv;
+  double remote_scv;
+};
+
+void expect_agreement(const Scenario& sc, std::size_t replications) {
+  cluster::ExperimentConfig cfg;
+  cfg.architecture = sc.arch;
+  cfg.workstations = sc.workstations;
+  if (sc.cpu_scv != 1.0) {
+    cfg.shapes.cpu = cluster::ServiceShape::from_scv(sc.cpu_scv);
+  }
+  if (sc.remote_scv != 1.0) {
+    cfg.shapes.remote_disk = cluster::ServiceShape::from_scv(sc.remote_scv);
+  }
+  const auto spec = cluster::build_cluster(cfg);
+  const core::TransientSolver solver(spec, cfg.workstations);
+  const core::DepartureTimeline tl = solver.solve(sc.tasks);
+
+  const sim::NetworkSimulator simulator(spec, cfg.workstations);
+  sim::SimulationOptions opts;
+  opts.replications = replications;
+  opts.seed = 0xC0FFEE ^ sc.tasks;
+  const sim::SimulationResult sr = simulator.run(sc.tasks, opts);
+
+  // Makespan within 5 sigma (99.99997% coverage; avoids flaky CI).
+  const double slack =
+      5.0 * sr.makespan.std_error() + 1e-6 * tl.makespan;
+  EXPECT_NEAR(sr.makespan.mean(), tl.makespan, slack) << sc.name;
+
+  // Spot-check inter-departure means at the start, middle and end.
+  for (std::size_t idx :
+       {std::size_t{0}, sc.tasks / 2, sc.tasks - 1}) {
+    const double sim_mean = sr.interdeparture[idx].mean();
+    const double sim_slack = 5.0 * sr.interdeparture[idx].std_error() +
+                             1e-6 * tl.epoch_times[idx];
+    EXPECT_NEAR(sim_mean, tl.epoch_times[idx], sim_slack)
+        << sc.name << " epoch " << idx;
+  }
+}
+
+}  // namespace
+
+TEST(AnalyticVsSimulation, CentralExponential) {
+  expect_agreement({"central-exp", cluster::Architecture::kCentral, 5, 30,
+                    1.0, 1.0},
+                   6000);
+}
+
+TEST(AnalyticVsSimulation, CentralHyperexponentialSharedDisk) {
+  expect_agreement({"central-h2-disk", cluster::Architecture::kCentral, 5, 30,
+                    1.0, 10.0},
+                   8000);
+}
+
+TEST(AnalyticVsSimulation, CentralErlangCpu) {
+  expect_agreement({"central-e3-cpu", cluster::Architecture::kCentral, 4, 20,
+                    1.0 / 3.0, 1.0},
+                   6000);
+}
+
+TEST(AnalyticVsSimulation, CentralHyperexponentialCpu) {
+  expect_agreement({"central-h2-cpu", cluster::Architecture::kCentral, 4, 20,
+                    2.0, 1.0},
+                   6000);
+}
+
+TEST(AnalyticVsSimulation, DistributedExponential) {
+  expect_agreement({"dist-exp", cluster::Architecture::kDistributed, 4, 20,
+                    1.0, 1.0},
+                   6000);
+}
+
+TEST(AnalyticVsSimulation, DistributedHyperexponentialDisks) {
+  expect_agreement({"dist-h2-disks", cluster::Architecture::kDistributed, 4,
+                    20, 1.0, 8.0},
+                   8000);
+}
+
+TEST(AnalyticVsSimulation, SmallClusterDrainingHeavy) {
+  // N = K: the whole run is draining region.
+  expect_agreement({"drain", cluster::Architecture::kCentral, 6, 6, 1.0, 5.0},
+                   8000);
+}
+
+TEST(AnalyticVsSimulation, SteadyStateMatchesLongRunSimulation) {
+  // The analytic t_ss must match the simulated mid-stream inter-departure
+  // time for a long workload.
+  cluster::ExperimentConfig cfg;
+  cfg.workstations = 5;
+  cfg.shapes.remote_disk = cluster::ServiceShape::hyperexponential(10.0);
+  const auto spec = cluster::build_cluster(cfg);
+  const core::TransientSolver solver(spec, 5);
+  const double t_ss = solver.steady_state().interdeparture;
+
+  const sim::NetworkSimulator simulator(spec, 5);
+  sim::SimulationOptions opts;
+  opts.replications = 3000;
+  const sim::SimulationResult sr = simulator.run(120, opts);
+  // Average simulated gaps over epochs 60..100 (well inside steady state).
+  finwork::stats::OnlineStats mid;
+  for (std::size_t i = 60; i < 100; ++i) {
+    mid.add(sr.interdeparture[i].mean());
+  }
+  EXPECT_NEAR(mid.mean(), t_ss, 0.05 * t_ss);
+}

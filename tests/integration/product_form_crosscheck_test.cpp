@@ -1,0 +1,109 @@
+// Integration: for exponential networks the transient model's steady state
+// must coincide with the Jackson/BCMP product-form solution (the paper's
+// §6.2.1 claim "the steady state value is the same as the value from the
+// product form solution"), and for large N the transient makespan converges
+// to N * t_ss.
+
+#include <gtest/gtest.h>
+
+#include "cluster/experiments.h"
+#include "core/transient_solver.h"
+#include "pf/product_form.h"
+
+namespace cluster = finwork::cluster;
+namespace core = finwork::core;
+namespace pf = finwork::pf;
+
+TEST(ProductFormCrosscheck, CentralClustersAllSizes) {
+  cluster::ApplicationModel app;
+  for (std::size_t k = 1; k <= 8; ++k) {
+    const auto spec = cluster::central_cluster(k, app);
+    const core::TransientSolver solver(spec, k);
+    const double t_ss = solver.steady_state().interdeparture;
+    const double conv = pf::convolution(spec, k).cycle_time;
+    const double mva = pf::exact_mva(spec, k).cycle_time;
+    EXPECT_NEAR(t_ss, conv, 1e-8 * conv) << "K = " << k;
+    EXPECT_NEAR(t_ss, mva, 1e-8 * mva) << "K = " << k;
+  }
+}
+
+TEST(ProductFormCrosscheck, DistributedClusters) {
+  cluster::ApplicationModel app;
+  for (std::size_t k : {2u, 3u, 5u}) {
+    const auto spec = cluster::distributed_cluster(k, app);
+    const core::TransientSolver solver(spec, k);
+    const double t_ss = solver.steady_state().interdeparture;
+    const double conv = pf::convolution(spec, k).cycle_time;
+    EXPECT_NEAR(t_ss, conv, 1e-8 * conv) << "K = " << k;
+  }
+}
+
+TEST(ProductFormCrosscheck, NonUniformAllocationStillAgrees) {
+  cluster::ApplicationModel app;
+  const auto spec =
+      cluster::distributed_cluster(4, app, {}, {0.4, 0.3, 0.2, 0.1});
+  const core::TransientSolver solver(spec, 4);
+  EXPECT_NEAR(solver.steady_state().interdeparture,
+              pf::convolution(spec, 4).cycle_time, 1e-8);
+}
+
+TEST(ProductFormCrosscheck, DedicatedNonExponentialKeepsProductFormLimit) {
+  // Paper §6.2.1: with *dedicated* non-exponential servers (no queueing at
+  // them), all distributions approach the same steady state, equal to the
+  // product-form value computed from the means.
+  cluster::ApplicationModel app;
+  const std::size_t k = 4;
+  const auto exp_spec = cluster::central_cluster(k, app);
+  const double pf_value = pf::convolution(exp_spec, k).cycle_time;
+  for (double scv : {1.0 / 3.0, 0.5, 2.0}) {
+    cluster::ClusterShapes shapes;
+    shapes.cpu = cluster::ServiceShape::from_scv(scv);
+    shapes.local_disk = cluster::ServiceShape::from_scv(scv);
+    const auto spec = cluster::central_cluster(k, app, shapes);
+    const core::TransientSolver solver(spec, k);
+    EXPECT_NEAR(solver.steady_state().interdeparture, pf_value,
+                1e-7 * pf_value)
+        << "scv = " << scv;
+  }
+}
+
+TEST(ProductFormCrosscheck, SharedNonExponentialBreaksProductForm) {
+  // With a *shared* H2 disk the product-form assumption fails: the true
+  // steady state is strictly slower than the exponential product form.
+  cluster::ApplicationModel app;
+  const std::size_t k = 5;
+  const auto exp_spec = cluster::central_cluster(k, app);
+  const double pf_value = pf::convolution(exp_spec, k).cycle_time;
+  cluster::ClusterShapes shapes;
+  shapes.remote_disk = cluster::ServiceShape::hyperexponential(20.0);
+  const core::TransientSolver solver(cluster::central_cluster(k, app, shapes),
+                                     k);
+  EXPECT_GT(solver.steady_state().interdeparture, 1.02 * pf_value);
+}
+
+TEST(ProductFormCrosscheck, LargeWorkloadMakespanApproachesSteadyRate) {
+  // E(T; N) / N -> t_ss as N grows (steady region dominates).
+  cluster::ApplicationModel app;
+  const auto spec = cluster::central_cluster(5, app);
+  const core::TransientSolver solver(spec, 5);
+  const double t_ss = solver.steady_state().interdeparture;
+  const double per_task_200 = solver.makespan(200) / 200.0;
+  const double per_task_50 = solver.makespan(50) / 50.0;
+  EXPECT_LT(std::abs(per_task_200 - t_ss) / t_ss,
+            std::abs(per_task_50 - t_ss) / t_ss);
+  EXPECT_NEAR(per_task_200, t_ss, 0.05 * t_ss);
+}
+
+TEST(ProductFormCrosscheck, UtilizationsFromThroughput) {
+  // Convolution utilizations satisfy U_j = X v_j s_j / c_j for the central
+  // cluster's shared stations.
+  cluster::ApplicationModel app;
+  const auto spec = cluster::central_cluster(6, app);
+  const auto r = pf::convolution(spec, 6);
+  const auto demands = spec.service_demands();
+  for (std::size_t j = 0; j < spec.num_stations(); ++j) {
+    const double expected = r.system_throughput * demands[j] /
+                            static_cast<double>(spec.station(j).multiplicity);
+    EXPECT_NEAR(r.utilization[j], expected, 1e-8) << "station " << j;
+  }
+}

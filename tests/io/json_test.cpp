@@ -1,0 +1,104 @@
+// Tests for the JSON parser.
+
+#include "io/json.h"
+
+#include <gtest/gtest.h>
+
+namespace io = finwork::io;
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(io::JsonValue::parse("null").is_null());
+  EXPECT_TRUE(io::JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(io::JsonValue::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(io::JsonValue::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(io::JsonValue::parse("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(io::JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesContainers) {
+  const auto v = io::JsonValue::parse(R"([1, "two", [3], {"four": 4}])");
+  const auto& arr = v.as_array();
+  ASSERT_EQ(arr.size(), 4u);
+  EXPECT_DOUBLE_EQ(arr[0].as_number(), 1.0);
+  EXPECT_EQ(arr[1].as_string(), "two");
+  EXPECT_DOUBLE_EQ(arr[2].as_array()[0].as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(arr[3].at("four").as_number(), 4.0);
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_TRUE(io::JsonValue::parse("{}").as_object().empty());
+  EXPECT_TRUE(io::JsonValue::parse("[]").as_array().empty());
+}
+
+TEST(Json, WhitespaceTolerant) {
+  const auto v = io::JsonValue::parse(" {\n\t\"a\" :\r 1 ,\n \"b\": [ 2 ] }\n");
+  EXPECT_DOUBLE_EQ(v.at("a").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(v.at("b").as_array()[0].as_number(), 2.0);
+}
+
+TEST(Json, StringEscapes) {
+  const auto v = io::JsonValue::parse(R"("a\"b\\c\nd\teA")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(Json, UnicodeEscapeUtf8) {
+  // \\u escapes are decoded to UTF-8 (1-, 2- and 3-byte forms).
+  EXPECT_EQ(io::JsonValue::parse(R"("\u0041")").as_string(), "A");
+  EXPECT_EQ(io::JsonValue::parse(R"("\u00e9")").as_string(), "\xC3\xA9");
+  EXPECT_EQ(io::JsonValue::parse(R"("\u20ac")").as_string(), "\xE2\x82\xAC");
+  EXPECT_THROW((void)io::JsonValue::parse(R"("\u00g9")"), io::JsonError);
+  EXPECT_THROW((void)io::JsonValue::parse(R"("\u00)"), io::JsonError);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "01x", "\"unterminated",
+        "[1] extra", "{\"a\": nul}", "-", "\"bad\\escape\"", "nan"}) {
+    EXPECT_THROW((void)io::JsonValue::parse(bad), io::JsonError) << bad;
+  }
+}
+
+TEST(Json, RejectsDeepNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_THROW((void)io::JsonValue::parse(deep), io::JsonError);
+}
+
+TEST(Json, TypeMismatchesThrow) {
+  const auto v = io::JsonValue::parse("{\"a\": 1}");
+  EXPECT_THROW((void)v.as_array(), io::JsonError);
+  EXPECT_THROW((void)v.as_number(), io::JsonError);
+  EXPECT_THROW((void)v.at("a").as_string(), io::JsonError);
+  EXPECT_THROW((void)v.at("missing"), io::JsonError);
+}
+
+TEST(Json, DefaultedAccessors) {
+  const auto v = io::JsonValue::parse(R"({"x": 5, "s": "hi", "b": true})");
+  EXPECT_DOUBLE_EQ(v.number_or("x", 9.0), 5.0);
+  EXPECT_DOUBLE_EQ(v.number_or("y", 9.0), 9.0);
+  EXPECT_EQ(v.string_or("s", "d"), "hi");
+  EXPECT_EQ(v.string_or("t", "d"), "d");
+  EXPECT_TRUE(v.bool_or("b", false));
+  EXPECT_FALSE(v.bool_or("c", false));
+  EXPECT_TRUE(v.contains("x"));
+  EXPECT_FALSE(v.contains("z"));
+}
+
+TEST(Json, DuplicateKeysLastWins) {
+  const auto v = io::JsonValue::parse(R"({"a": 1, "a": 2})");
+  EXPECT_DOUBLE_EQ(v.at("a").as_number(), 2.0);
+}
+
+TEST(Json, LargeRealisticConfig) {
+  const auto v = io::JsonValue::parse(R"({
+    "architecture": "central",
+    "workstations": 5,
+    "tasks": 30,
+    "shapes": {"remote_disk": {"type": "hyperexponential", "scv": 10}},
+    "outputs": ["summary", "timeline"]
+  })");
+  EXPECT_EQ(v.at("architecture").as_string(), "central");
+  EXPECT_DOUBLE_EQ(
+      v.at("shapes").at("remote_disk").at("scv").as_number(), 10.0);
+  EXPECT_EQ(v.at("outputs").as_array().size(), 2u);
+}

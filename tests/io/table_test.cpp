@@ -1,0 +1,85 @@
+// Tests for the benchmark table writer.
+
+#include "io/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace io = finwork::io;
+
+TEST(Table, RequiresColumns) {
+  EXPECT_THROW((void)io::Table({}), std::invalid_argument);
+}
+
+TEST(Table, AddAndAccessRows) {
+  io::Table t({"x", "y"});
+  t.add_row({1.0, 2.0});
+  t.add_row({3.0, 4.0});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 1), 2.0);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  io::Table t({"x", "y"});
+  EXPECT_THROW((void)t.add_row({1.0}), std::invalid_argument);
+  EXPECT_THROW((void)t.add_row({1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Table, AtOutOfRangeThrows) {
+  io::Table t({"x"});
+  t.add_row({1.0});
+  EXPECT_THROW((void)t.at(1, 0), std::out_of_range);
+  EXPECT_THROW((void)t.at(0, 1), std::out_of_range);
+}
+
+TEST(Table, PrintAlignsHeaders) {
+  io::Table t({"longheader", "y"});
+  t.add_row({1.0, 2.0});
+  std::ostringstream ss;
+  t.print(ss, 2);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("longheader"), std::string::npos);
+  EXPECT_NE(out.find("1.00"), std::string::npos);
+  EXPECT_NE(out.find("2.00"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripsValues) {
+  io::Table t({"a", "b"});
+  t.add_row({0.1234567890123, 42.0});
+  std::ostringstream ss;
+  t.print_csv(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("a,b"), std::string::npos);
+  EXPECT_NE(out.find("0.1234567890123"), std::string::npos);
+}
+
+TEST(Table, WriteCsvCreatesFile) {
+  io::Table t({"v"});
+  t.add_row({7.0});
+  const std::string path = ::testing::TempDir() + "/finwork_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "v");
+  std::remove(path.c_str());
+}
+
+TEST(Table, WriteCsvBadPathThrows) {
+  io::Table t({"v"});
+  EXPECT_THROW((void)t.write_csv("/nonexistent-dir-xyz/file.csv"),
+               std::runtime_error);
+}
+
+TEST(PrintSection, EmitsTitle) {
+  std::ostringstream ss;
+  io::print_section(ss, "Figure 3");
+  EXPECT_NE(ss.str().find("Figure 3"), std::string::npos);
+}

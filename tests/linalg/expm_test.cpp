@@ -1,0 +1,130 @@
+// Tests for the matrix exponential and the uniformization-based action.
+
+#include "linalg/expm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/lu.h"
+
+namespace la = finwork::la;
+
+TEST(Expm, ZeroMatrixGivesIdentity) {
+  EXPECT_TRUE(la::allclose(la::expm(la::Matrix(3, 3, 0.0)), la::identity(3)));
+}
+
+TEST(Expm, DiagonalMatrix) {
+  la::Matrix d = la::diagonal(la::Vector{1.0, -2.0, 0.5});
+  const la::Matrix e = la::expm(d);
+  EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-12);
+  EXPECT_NEAR(e(1, 1), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(e(2, 2), std::exp(0.5), 1e-12);
+  EXPECT_NEAR(e(0, 1), 0.0, 1e-14);
+}
+
+TEST(Expm, NilpotentMatrixExactSeries) {
+  // N = [[0,1],[0,0]] => exp(N) = I + N.
+  la::Matrix n{{0.0, 1.0}, {0.0, 0.0}};
+  const la::Matrix e = la::expm(n);
+  EXPECT_NEAR(e(0, 0), 1.0, 1e-14);
+  EXPECT_NEAR(e(0, 1), 1.0, 1e-14);
+  EXPECT_NEAR(e(1, 1), 1.0, 1e-14);
+}
+
+TEST(Expm, Known2x2) {
+  // A = [[0, 1], [-1, 0]] => exp(A) = rotation by 1 radian.
+  la::Matrix a{{0.0, 1.0}, {-1.0, 0.0}};
+  const la::Matrix e = la::expm(a);
+  EXPECT_NEAR(e(0, 0), std::cos(1.0), 1e-12);
+  EXPECT_NEAR(e(0, 1), std::sin(1.0), 1e-12);
+  EXPECT_NEAR(e(1, 0), -std::sin(1.0), 1e-12);
+}
+
+TEST(Expm, LargeNormTriggersScaling) {
+  // 20 * rotation: exp is rotation by 20 radians; requires squaring steps.
+  la::Matrix a{{0.0, 20.0}, {-20.0, 0.0}};
+  const la::Matrix e = la::expm(a);
+  EXPECT_NEAR(e(0, 0), std::cos(20.0), 1e-10);
+  EXPECT_NEAR(e(0, 1), std::sin(20.0), 1e-10);
+}
+
+TEST(Expm, InverseProperty) {
+  la::Matrix a{{0.3, 0.1, 0.0}, {0.2, -0.4, 0.1}, {0.0, 0.5, -0.2}};
+  const la::Matrix e = la::expm(a);
+  la::Matrix neg = a;
+  neg *= -1.0;
+  const la::Matrix einv = la::expm(neg);
+  EXPECT_TRUE(la::allclose(e * einv, la::identity(3), 1e-10, 1e-11));
+}
+
+TEST(Expm, DeterminantIsExpTrace) {
+  la::Matrix a{{0.2, 0.7}, {0.1, -0.5}};
+  EXPECT_NEAR(la::determinant(la::expm(a)), std::exp(a.trace()), 1e-10);
+}
+
+TEST(Expm, NonSquareThrows) {
+  EXPECT_THROW((void)la::expm(la::Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(ExpmAction, MatchesDenseExpm) {
+  // Sub-generator: -B for an Erlang-3-ish chain.
+  la::Matrix a{{-3.0, 3.0, 0.0}, {0.0, -3.0, 3.0}, {0.0, 0.0, -3.0}};
+  la::Vector x{1.0, 0.0, 0.0};
+  for (double t : {0.0, 0.1, 0.5, 1.0, 3.0, 10.0}) {
+    la::Matrix at = a;
+    at *= t;
+    const la::Vector expected = x * la::expm(at);
+    const la::Vector got = la::expm_action_left(x, a, t);
+    EXPECT_TRUE(la::allclose(got, expected, 1e-9, 1e-11)) << "t = " << t;
+  }
+}
+
+TEST(ExpmAction, GeneratorPreservesProbability) {
+  // A proper generator (zero row sums): mass must be conserved.
+  la::Matrix g{{-2.0, 2.0, 0.0}, {1.0, -3.0, 2.0}, {0.5, 0.5, -1.0}};
+  la::Vector p{0.2, 0.3, 0.5};
+  const la::Vector out = la::expm_action_left(p, g, 4.0);
+  EXPECT_NEAR(out.sum(), 1.0, 1e-10);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_GE(out[i], -1e-12);
+}
+
+TEST(ExpmAction, TimeZeroIsIdentity) {
+  la::Matrix g{{-1.0, 1.0}, {0.0, -1.0}};
+  la::Vector p{0.4, 0.6};
+  EXPECT_EQ(la::expm_action_left(p, g, 0.0), p);
+}
+
+TEST(ExpmAction, NegativeTimeThrows) {
+  la::Matrix g{{-1.0}};
+  EXPECT_THROW((void)la::expm_action_left(la::Vector{1.0}, g, -1.0),
+               std::invalid_argument);
+}
+
+TEST(ExpmAction, ZeroGeneratorIsIdentity) {
+  la::Matrix g(2, 2, 0.0);
+  la::Vector p{0.3, 0.7};
+  EXPECT_EQ(la::expm_action_left(p, g, 5.0), p);
+}
+
+TEST(ExpmAction, SizeMismatchThrows) {
+  EXPECT_THROW((void)la::expm_action_left(la::Vector{1.0}, la::identity(2), 1.0),
+               std::invalid_argument);
+}
+
+// Semigroup property exp(tA) exp(sA) = exp((t+s)A) through the action.
+class ExpmSemigroup : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExpmSemigroup, ActionComposes) {
+  const double t = GetParam();
+  la::Matrix a{{-2.0, 1.0, 0.5}, {0.3, -1.0, 0.2}, {0.0, 0.4, -0.9}};
+  la::Vector p{0.5, 0.25, 0.25};
+  const la::Vector two_step =
+      la::expm_action_left(la::expm_action_left(p, a, t), a, t);
+  const la::Vector one_step = la::expm_action_left(p, a, 2.0 * t);
+  EXPECT_TRUE(la::allclose(two_step, one_step, 1e-8, 1e-11)) << "t = " << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(Times, ExpmSemigroup,
+                         ::testing::Values(0.05, 0.25, 1.0, 2.5, 7.0));

@@ -1,0 +1,77 @@
+// Tests for Kronecker products and sums.
+
+#include "linalg/kron.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/expm.h"
+
+namespace la = finwork::la;
+
+TEST(Kron, KnownProduct) {
+  la::Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  la::Matrix b{{0.0, 5.0}, {6.0, 7.0}};
+  const la::Matrix k = la::kron(a, b);
+  ASSERT_EQ(k.rows(), 4u);
+  ASSERT_EQ(k.cols(), 4u);
+  EXPECT_DOUBLE_EQ(k(0, 1), 5.0);    // a00 * b01
+  EXPECT_DOUBLE_EQ(k(1, 0), 6.0);    // a00 * b10
+  EXPECT_DOUBLE_EQ(k(2, 1), 15.0);   // a10 * b01
+  EXPECT_DOUBLE_EQ(k(2, 3), 20.0);   // a11 * b01
+  EXPECT_DOUBLE_EQ(k(3, 3), 28.0);   // a11 * b11
+}
+
+TEST(Kron, IdentityIsNeutralUpToPermutation) {
+  la::Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_TRUE(la::allclose(la::kron(la::identity(1), a), a));
+  EXPECT_TRUE(la::allclose(la::kron(a, la::identity(1)), a));
+}
+
+TEST(Kron, MixedProductProperty) {
+  // (A (x) B)(C (x) D) = (AC) (x) (BD)
+  la::Matrix a{{1.0, 2.0}, {0.0, 1.0}};
+  la::Matrix b{{2.0, 0.0}, {1.0, 1.0}};
+  la::Matrix c{{0.5, 1.0}, {1.0, 0.0}};
+  la::Matrix d{{1.0, 1.0}, {0.0, 2.0}};
+  EXPECT_TRUE(la::allclose(la::kron(a, b) * la::kron(c, d),
+                           la::kron(a * c, b * d), 1e-12, 1e-13));
+}
+
+TEST(Kron, VectorProduct) {
+  la::Vector a{1.0, 2.0};
+  la::Vector b{3.0, 4.0};
+  EXPECT_EQ(la::kron(a, b), (la::Vector{3.0, 4.0, 6.0, 8.0}));
+}
+
+TEST(KronSum, DimensionsAndStructure) {
+  la::Matrix a{{-1.0, 1.0}, {0.0, -1.0}};
+  la::Matrix b{{-2.0}};
+  const la::Matrix s = la::kron_sum(a, b);
+  ASSERT_EQ(s.rows(), 2u);
+  EXPECT_DOUBLE_EQ(s(0, 0), -3.0);
+  EXPECT_DOUBLE_EQ(s(0, 1), 1.0);
+}
+
+TEST(KronSum, RequiresSquare) {
+  EXPECT_THROW((void)la::kron_sum(la::Matrix(2, 3), la::identity(2)),
+               std::invalid_argument);
+}
+
+TEST(KronSum, ExpOfSumIsKronOfExps) {
+  // exp(A (+) B) = exp(A) (x) exp(B): the joint process of two independent
+  // Markov chains.
+  la::Matrix a{{-1.0, 1.0}, {0.5, -0.5}};
+  la::Matrix b{{-2.0, 2.0}, {1.0, -1.0}};
+  EXPECT_TRUE(la::allclose(la::expm(la::kron_sum(a, b)),
+                           la::kron(la::expm(a), la::expm(b)), 1e-10, 1e-12));
+}
+
+TEST(Kron, PaperStateSpaceComparison) {
+  // The paper notes the naive Kronecker space for K workstations modeled
+  // with 2K+1 servers has (2K+1)^K states; kron dimensions grow accordingly.
+  la::Matrix one_server(3, 3, 0.0);  // a 3-state toy server
+  la::Matrix joint = la::kron(one_server, one_server);
+  EXPECT_EQ(joint.rows(), 9u);
+  joint = la::kron(joint, one_server);
+  EXPECT_EQ(joint.rows(), 27u);
+}

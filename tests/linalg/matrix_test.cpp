@@ -1,0 +1,174 @@
+// Unit tests for the dense Matrix/Vector types.
+
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace la = finwork::la;
+
+TEST(Vector, ConstructionAndAccess) {
+  la::Vector v(3, 2.5);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 2.5);
+  v[1] = -1.0;
+  EXPECT_DOUBLE_EQ(v[1], -1.0);
+}
+
+TEST(Vector, InitializerList) {
+  la::Vector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+}
+
+TEST(Vector, SumAndNorms) {
+  la::Vector v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(v.sum(), -1.0);
+  EXPECT_DOUBLE_EQ(v.norm2(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm_inf(), 4.0);
+  EXPECT_DOUBLE_EQ(v.norm1(), 7.0);
+}
+
+TEST(Vector, Arithmetic) {
+  la::Vector a{1.0, 2.0};
+  la::Vector b{3.0, 5.0};
+  EXPECT_EQ(a + b, (la::Vector{4.0, 7.0}));
+  EXPECT_EQ(b - a, (la::Vector{2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (la::Vector{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (la::Vector{2.0, 4.0}));
+  EXPECT_EQ(b / 2.0, (la::Vector{1.5, 2.5}));
+}
+
+TEST(Vector, DotAndAxpy) {
+  la::Vector a{1.0, 2.0, 3.0};
+  la::Vector b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(la::dot(a, b), 32.0);
+  la::axpy(2.0, a, b);
+  EXPECT_EQ(b, (la::Vector{6.0, 9.0, 12.0}));
+}
+
+TEST(Vector, OnesAndUnit) {
+  EXPECT_DOUBLE_EQ(la::ones(4).sum(), 4.0);
+  const la::Vector e = la::unit(3, 1);
+  EXPECT_DOUBLE_EQ(e[0], 0.0);
+  EXPECT_DOUBLE_EQ(e[1], 1.0);
+  EXPECT_DOUBLE_EQ(e[2], 0.0);
+}
+
+TEST(Vector, Fill) {
+  la::Vector v(3, 1.0);
+  v.fill(7.0);
+  EXPECT_EQ(v, (la::Vector{7.0, 7.0, 7.0}));
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  la::Matrix m(2, 3, 1.0);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FALSE(m.square());
+  m(1, 2) = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 9.0);
+}
+
+TEST(Matrix, InitializerList) {
+  la::Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_TRUE(m.square());
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((void)(la::Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, Identity) {
+  const la::Matrix i = la::identity(3);
+  EXPECT_DOUBLE_EQ(i(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(i.trace(), 3.0);
+}
+
+TEST(Matrix, Transposed) {
+  la::Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const la::Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, MatMul) {
+  la::Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  la::Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const la::Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatMulDimensionMismatchThrows) {
+  la::Matrix a(2, 3);
+  la::Matrix b(2, 3);
+  EXPECT_THROW((void)(a * b), std::invalid_argument);
+}
+
+TEST(Matrix, MatVec) {
+  la::Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  la::Vector x{1.0, 1.0};
+  EXPECT_EQ(a * x, (la::Vector{3.0, 7.0}));
+}
+
+TEST(Matrix, VecMatIsRowAction) {
+  la::Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  la::Vector x{1.0, 1.0};
+  EXPECT_EQ(x * a, (la::Vector{4.0, 6.0}));
+}
+
+TEST(Matrix, VecMatMatchesTransposedMatVec) {
+  la::Matrix a{{1.0, -2.0, 0.5}, {3.0, 4.0, -1.0}, {0.0, 2.0, 7.0}};
+  la::Vector x{0.2, -1.5, 3.0};
+  EXPECT_TRUE(la::allclose(x * a, a.transposed() * x));
+}
+
+TEST(Matrix, DiagonalAndDiagOf) {
+  const la::Matrix d = la::diagonal(la::Vector{1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+  EXPECT_EQ(la::diag_of(d), (la::Vector{1.0, 2.0, 3.0}));
+}
+
+TEST(Matrix, Norms) {
+  la::Matrix m{{1.0, -2.0}, {-3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.norm_inf(), 7.0);  // max row sum of abs
+  EXPECT_DOUBLE_EQ(m.norm1(), 6.0);     // max col sum of abs
+  EXPECT_DOUBLE_EQ(m.norm_frobenius() * m.norm_frobenius(), 30.0);
+}
+
+TEST(Matrix, Arithmetic) {
+  la::Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  la::Matrix b{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_DOUBLE_EQ((a + b)(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ((a - b)(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ((a * 3.0)(0, 1), 6.0);
+}
+
+TEST(Matrix, TraceRequiresSquare) {
+  EXPECT_THROW((void)la::Matrix(2, 3).trace(), std::invalid_argument);
+}
+
+TEST(Allclose, RespectsTolerances) {
+  la::Matrix a{{1.0}};
+  la::Matrix b{{1.0 + 1e-13}};
+  EXPECT_TRUE(la::allclose(a, b));
+  la::Matrix c{{1.1}};
+  EXPECT_FALSE(la::allclose(a, c));
+  EXPECT_FALSE(la::allclose(la::Matrix(1, 2), la::Matrix(2, 1)));
+}
+
+TEST(Printing, StreamsWithoutCrashing) {
+  std::ostringstream ss;
+  ss << la::Vector{1.0, 2.0} << la::Matrix{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_NE(ss.str().find("1"), std::string::npos);
+}

@@ -1,0 +1,95 @@
+// Tests for the blocked parallel dense kernels: exact agreement with the
+// serial reference across shapes, blocks and thread counts.
+
+#include "linalg/parallel_blas.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace la = finwork::la;
+namespace par = finwork::par;
+
+namespace {
+
+la::Matrix random_matrix(std::size_t rows, std::size_t cols, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  la::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = dist(gen);
+  }
+  return m;
+}
+
+}  // namespace
+
+TEST(ParallelBlas, MatchesSerialBitwiseSquare) {
+  par::ThreadPool pool(4);
+  const la::Matrix a = random_matrix(97, 97, 1);
+  const la::Matrix b = random_matrix(97, 97, 2);
+  const la::Matrix serial = a * b;
+  const la::Matrix parallel = la::multiply_blocked(a, b, pool, 16);
+  ASSERT_EQ(parallel.rows(), serial.rows());
+  for (std::size_t r = 0; r < serial.rows(); ++r) {
+    for (std::size_t c = 0; c < serial.cols(); ++c) {
+      EXPECT_EQ(parallel(r, c), serial(r, c)) << r << "," << c;
+    }
+  }
+}
+
+TEST(ParallelBlas, MatchesSerialRectangular) {
+  par::ThreadPool pool(3);
+  const la::Matrix a = random_matrix(31, 77, 3);
+  const la::Matrix b = random_matrix(77, 13, 4);
+  EXPECT_EQ(la::multiply_blocked(a, b, pool, 8), a * b);
+}
+
+TEST(ParallelBlas, DimensionMismatchThrows) {
+  par::ThreadPool pool(2);
+  EXPECT_THROW((void)la::multiply_blocked(la::Matrix(2, 3), la::Matrix(2, 3), pool),
+               std::invalid_argument);
+  EXPECT_THROW((void)la::multiply_blocked(la::identity(2), la::identity(2), pool, 0),
+      std::invalid_argument);
+}
+
+TEST(ParallelBlas, GlobalPoolOverload) {
+  const la::Matrix a = random_matrix(40, 40, 5);
+  EXPECT_EQ(la::multiply_blocked(a, la::identity(40)), a);
+}
+
+TEST(ParallelBlas, IdentityNeutral) {
+  par::ThreadPool pool(4);
+  const la::Matrix a = random_matrix(65, 65, 6);
+  EXPECT_EQ(la::multiply_blocked(la::identity(65), a, pool), a);
+  EXPECT_EQ(la::multiply_blocked(a, la::identity(65), pool), a);
+}
+
+TEST(ParallelBlas, VectorActionMatchesSerial) {
+  par::ThreadPool pool(4);
+  const la::Matrix a = random_matrix(300, 211, 7);
+  la::Vector x(300);
+  std::mt19937 gen(8);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (auto& v : x) v = dist(gen);
+  EXPECT_EQ(la::multiply_left_parallel(x, a, pool), x * a);
+}
+
+TEST(ParallelBlas, VectorActionDimensionThrows) {
+  par::ThreadPool pool(2);
+  EXPECT_THROW((void)la::multiply_left_parallel(la::Vector(3), la::Matrix(2, 2), pool),
+               std::invalid_argument);
+}
+
+// Property: agreement holds across block sizes and thread counts.
+class BlockSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BlockSweep, AllBlocksAgree) {
+  par::ThreadPool pool(GetParam() % 3 + 1);
+  const la::Matrix a = random_matrix(50, 60, 100 + GetParam());
+  const la::Matrix b = random_matrix(60, 45, 200 + GetParam());
+  EXPECT_EQ(la::multiply_blocked(a, b, pool, GetParam()), a * b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, BlockSweep,
+                         ::testing::Values(1, 2, 7, 16, 64, 1000));

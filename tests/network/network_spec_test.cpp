@@ -1,0 +1,155 @@
+// Tests for NetworkSpec: validation, visit ratios, and the single-customer
+// LAQT view (the paper's Section 5.4 worked example).
+
+#include "network/network_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/builders.h"
+#include "linalg/lu.h"
+
+namespace net = finwork::net;
+namespace ph = finwork::ph;
+namespace la = finwork::la;
+namespace cluster = finwork::cluster;
+
+namespace {
+
+/// The paper's central-cluster network at station granularity with simple
+/// hand-picked numbers: q = 0.2, p1 = 0.6, p2 = 0.4.
+net::NetworkSpec paper_example() {
+  const double q = 0.2, p1 = 0.6, p2 = 0.4;
+  std::vector<net::Station> st;
+  st.push_back({"CPU", ph::PhaseType::exponential(2.0), 5});
+  st.push_back({"Disk", ph::PhaseType::exponential(1.0), 5});
+  st.push_back({"Comm", ph::PhaseType::exponential(4.0), 1});
+  st.push_back({"RDisk", ph::PhaseType::exponential(0.5), 1});
+  la::Vector entry{1.0, 0.0, 0.0, 0.0};
+  la::Matrix routing(4, 4, 0.0);
+  routing(0, 1) = (1 - q) * p1;
+  routing(0, 2) = (1 - q) * p2;
+  routing(1, 0) = 1.0;
+  routing(2, 3) = 1.0;
+  routing(3, 0) = 1.0;
+  la::Vector exit{q, 0.0, 0.0, 0.0};
+  return net::NetworkSpec(std::move(st), std::move(entry), std::move(routing),
+                          std::move(exit));
+}
+
+}  // namespace
+
+TEST(NetworkSpec, ValidatesProbabilities) {
+  std::vector<net::Station> st{{"A", ph::PhaseType::exponential(1.0), 1}};
+  // entry not summing to 1
+  EXPECT_THROW((void)net::NetworkSpec(st, la::Vector{0.5}, la::Matrix(1, 1, 0.0),
+                                la::Vector{1.0}),
+               std::invalid_argument);
+  // routing row + exit != 1
+  EXPECT_THROW((void)net::NetworkSpec(st, la::Vector{1.0}, la::Matrix(1, 1, 0.0),
+                                la::Vector{0.5}),
+               std::invalid_argument);
+  // negative routing
+  EXPECT_THROW((void)net::NetworkSpec(st, la::Vector{1.0}, la::Matrix{{-0.5}},
+                                la::Vector{1.5}),
+               std::invalid_argument);
+  // dimension mismatch
+  EXPECT_THROW((void)net::NetworkSpec(st, la::Vector{1.0, 0.0},
+                                la::Matrix(1, 1, 0.0), la::Vector{1.0}),
+               std::invalid_argument);
+  // no stations
+  EXPECT_THROW((void)net::NetworkSpec({}, la::Vector{}, la::Matrix{}, la::Vector{}),
+               std::invalid_argument);
+}
+
+TEST(NetworkSpec, VisitRatiosOfPaperExample) {
+  const net::NetworkSpec spec = paper_example();
+  const la::Vector v = spec.visit_ratios();
+  // CPU visited 1/q = 5 times; disk 5 * 0.8 * 0.6 = 2.4; comm and remote
+  // disk 5 * 0.8 * 0.4 = 1.6 each.
+  EXPECT_NEAR(v[0], 5.0, 1e-10);
+  EXPECT_NEAR(v[1], 2.4, 1e-10);
+  EXPECT_NEAR(v[2], 1.6, 1e-10);
+  EXPECT_NEAR(v[3], 1.6, 1e-10);
+}
+
+TEST(NetworkSpec, ServiceDemands) {
+  const net::NetworkSpec spec = paper_example();
+  const la::Vector d = spec.service_demands();
+  EXPECT_NEAR(d[0], 5.0 * 0.5, 1e-10);
+  EXPECT_NEAR(d[3], 1.6 * 2.0, 1e-10);
+}
+
+TEST(NetworkSpec, SingleCustomerTimeComponents) {
+  // The paper's pV = [t_cpu/q, t_d p1(1-q)/q, t_com p2(1-q)/q,
+  //                   t_rd p2(1-q)/q].
+  const net::NetworkSpec spec = paper_example();
+  const net::SingleCustomerView view = spec.single_customer();
+  EXPECT_NEAR(view.time_components[0], 0.5 / 0.2, 1e-10);
+  EXPECT_NEAR(view.time_components[1], 1.0 * 0.6 * 0.8 / 0.2, 1e-10);
+  EXPECT_NEAR(view.time_components[2], 0.25 * 0.4 * 0.8 / 0.2, 1e-10);
+  EXPECT_NEAR(view.time_components[3], 2.0 * 0.4 * 0.8 / 0.2, 1e-10);
+  EXPECT_NEAR(view.mean_task_time, view.time_components.sum(), 1e-12);
+}
+
+TEST(NetworkSpec, SingleCustomerTransitionRowsStochastic) {
+  const net::NetworkSpec spec = paper_example();
+  const net::SingleCustomerView view = spec.single_customer();
+  for (std::size_t i = 0; i < view.p.size(); ++i) {
+    double row = view.exit[i];
+    for (std::size_t j = 0; j < view.p.size(); ++j) {
+      row += view.transition(i, j);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-12) << "row " << i;
+  }
+  EXPECT_NEAR(view.p.sum(), 1.0, 1e-12);
+}
+
+TEST(NetworkSpec, SingleCustomerPhaseExpansion) {
+  // Replacing the CPU with Erlang-2 adds one phase, exactly like the paper's
+  // Section 5.4.1 matrix.
+  net::NetworkSpec spec = paper_example();
+  spec = spec.with_service(0, ph::PhaseType::erlang(2, 0.5));
+  const net::SingleCustomerView view = spec.single_customer();
+  EXPECT_EQ(view.p.size(), 5u);
+  EXPECT_EQ(view.phase_station[0], 0u);
+  EXPECT_EQ(view.phase_station[1], 0u);
+  EXPECT_EQ(view.phase_station[2], 1u);
+  // Mean task time is unchanged by the shape substitution.
+  EXPECT_NEAR(view.mean_task_time, paper_example().single_customer().mean_task_time,
+              1e-10);
+}
+
+TEST(NetworkSpec, MeanTaskTimeEqualsPsiOfV) {
+  // Psi[V] computed directly from B at phase granularity must equal the sum
+  // of the time components (definition check).
+  const net::SingleCustomerView view = paper_example().single_customer();
+  const la::Vector tau = la::LuDecomposition(view.b).solve(la::ones(4));
+  EXPECT_NEAR(la::dot(view.p, tau), view.mean_task_time, 1e-10);
+}
+
+TEST(NetworkSpec, WithServiceOutOfRangeThrows) {
+  EXPECT_THROW((void)paper_example().with_service(9, ph::PhaseType::exponential(1.0)),
+               std::out_of_range);
+}
+
+TEST(NetworkSpec, ExponentializedPreservesMeans) {
+  net::NetworkSpec spec = paper_example();
+  spec = spec.with_service(3, ph::hyperexponential_balanced(2.0, 25.0));
+  const net::NetworkSpec expo = spec.exponentialized();
+  for (std::size_t j = 0; j < spec.num_stations(); ++j) {
+    EXPECT_NEAR(expo.station(j).service.mean(), spec.station(j).service.mean(),
+                1e-10);
+    EXPECT_EQ(expo.station(j).service.phases(), 1u);
+  }
+}
+
+TEST(NetworkSpec, ClusterBuilderProducesValidSpec) {
+  // Smoke-check the two builders through the validation constructor.
+  cluster::ApplicationModel app;
+  const net::NetworkSpec c = cluster::central_cluster(4, app);
+  EXPECT_EQ(c.num_stations(), 4u);
+  EXPECT_NEAR(c.single_customer().mean_task_time, app.task_mean_time(), 1e-9);
+  const net::NetworkSpec d = cluster::distributed_cluster(4, app);
+  EXPECT_EQ(d.num_stations(), 7u);
+  EXPECT_NEAR(d.single_customer().mean_task_time, app.task_mean_time(), 1e-9);
+}

@@ -1,0 +1,109 @@
+// The lumping check: the naive tagged (Kronecker) model and the
+// reduced-product transient solver must produce identical means.
+
+#include "network/tagged_reference.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/builders.h"
+#include "core/transient_solver.h"
+#include "ph/fitting.h"
+
+namespace net = finwork::net;
+namespace ph = finwork::ph;
+namespace la = finwork::la;
+namespace core = finwork::core;
+namespace cluster = finwork::cluster;
+
+namespace {
+
+net::NetworkSpec one_station(ph::PhaseType svc, std::size_t mult) {
+  std::vector<net::Station> st{{"S", std::move(svc), mult}};
+  return net::NetworkSpec(std::move(st), la::Vector{1.0}, la::Matrix(1, 1, 0.0),
+                          la::Vector{1.0});
+}
+
+}  // namespace
+
+TEST(TaggedReference, ForkJoinClosedForm) {
+  // 3 tagged tasks on private Exp(2) servers: first departure 1/6,
+  // makespan = H_3 / 2.
+  const auto res = net::tagged_reference(
+      one_station(ph::PhaseType::exponential(2.0), 3), 3);
+  EXPECT_EQ(res.states, 8u);  // (1 phase + done)^3
+  EXPECT_NEAR(res.first_departure, 1.0 / 6.0, 1e-10);
+  EXPECT_NEAR(res.makespan, (1.0 + 0.5 + 1.0 / 3.0) / 2.0, 1e-10);
+}
+
+TEST(TaggedReference, SharedExponentialServer) {
+  // 2 tasks on one shared Exp(1) server: makespan = 2 (two services).
+  const auto res = net::tagged_reference(
+      one_station(ph::PhaseType::exponential(1.0), 1), 2);
+  EXPECT_NEAR(res.first_departure, 1.0, 1e-10);
+  EXPECT_NEAR(res.makespan, 2.0, 1e-10);
+}
+
+TEST(TaggedReference, MatchesReducedProductExponentialCluster) {
+  cluster::ApplicationModel app;
+  const net::NetworkSpec spec = cluster::central_cluster(3, app);
+  const auto tagged = net::tagged_reference(spec, 3);
+  const core::TransientSolver solver(spec, 3);
+  const la::Vector p3 = solver.initial_vector();
+  EXPECT_NEAR(tagged.first_departure, solver.mean_epoch_time(3, p3),
+              1e-8 * tagged.first_departure);
+  EXPECT_NEAR(tagged.makespan, solver.makespan(3), 1e-8 * tagged.makespan);
+}
+
+TEST(TaggedReference, MatchesReducedProductWithErlangCpu) {
+  cluster::ApplicationModel app = cluster::ApplicationModel::coarse_grained();
+  cluster::ClusterShapes shapes;
+  shapes.cpu = cluster::ServiceShape::erlang(2);
+  const net::NetworkSpec spec = cluster::central_cluster(2, app, shapes);
+  const auto tagged = net::tagged_reference(spec, 2);
+  const core::TransientSolver solver(spec, 2);
+  EXPECT_NEAR(tagged.makespan, solver.makespan(2), 1e-8 * tagged.makespan);
+  EXPECT_NEAR(tagged.first_departure,
+              solver.mean_epoch_time(2, solver.initial_vector()),
+              1e-8 * tagged.first_departure);
+}
+
+TEST(TaggedReference, MatchesReducedProductWithHyperexponentialCpu) {
+  cluster::ApplicationModel app = cluster::ApplicationModel::coarse_grained();
+  cluster::ClusterShapes shapes;
+  shapes.cpu = cluster::ServiceShape::hyperexponential(4.0);
+  const net::NetworkSpec spec = cluster::central_cluster(2, app, shapes);
+  const auto tagged = net::tagged_reference(spec, 2);
+  const core::TransientSolver solver(spec, 2);
+  EXPECT_NEAR(tagged.makespan, solver.makespan(2), 1e-8 * tagged.makespan);
+}
+
+TEST(TaggedReference, KroneckerSpaceIsExponentiallyLarger) {
+  // The paper's point: tagged space is |codes|^K vs C(K + M - 1, K).
+  cluster::ApplicationModel app;
+  const net::NetworkSpec spec = cluster::central_cluster(3, app);
+  const auto tagged = net::tagged_reference(spec, 3);
+  const net::StateSpace reduced(spec, 3);
+  EXPECT_EQ(tagged.states, 125u);  // (4 phases + done)^3
+  EXPECT_EQ(reduced.dimension(3), 20u);  // C(6, 3)
+  EXPECT_GT(tagged.states, 6 * reduced.dimension(3));
+}
+
+TEST(TaggedReference, RejectsQueuedPhStations) {
+  cluster::ApplicationModel app;
+  cluster::ClusterShapes shapes;
+  shapes.remote_disk = cluster::ServiceShape::hyperexponential(4.0);
+  const net::NetworkSpec spec = cluster::central_cluster(2, app, shapes);
+  EXPECT_THROW((void)net::tagged_reference(spec, 2), std::invalid_argument);
+}
+
+TEST(TaggedReference, RejectsHugeSpaces) {
+  cluster::ApplicationModel app;
+  const net::NetworkSpec spec = cluster::central_cluster(16, app);
+  EXPECT_THROW((void)net::tagged_reference(spec, 16), std::invalid_argument);
+}
+
+TEST(TaggedReference, Guards) {
+  cluster::ApplicationModel app;
+  const net::NetworkSpec spec = cluster::central_cluster(2, app);
+  EXPECT_THROW((void)net::tagged_reference(spec, 0), std::invalid_argument);
+}

@@ -1,0 +1,111 @@
+// Tests for the thread pool and parallel loops.
+
+#include "parallel/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace par = finwork::par;
+
+TEST(ThreadPool, ConstructsRequestedThreads) {
+  par::ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  par::ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  par::ThreadPool pool(2);
+  auto fut = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  par::ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  par::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 500; ++i) {
+    futs.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ParallelFor, CoversExactRange) {
+  par::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  par::parallel_for(pool, 0, 1000, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  par::ThreadPool pool(2);
+  bool touched = false;
+  par::parallel_for(pool, 5, 5, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, SmallRangeRunsInline) {
+  par::ThreadPool pool(4);
+  std::vector<int> order;
+  // With grain larger than the range the loop runs on the calling thread in
+  // order, so a non-atomic vector is safe.
+  par::parallel_for(pool, 0, 4, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  }, 100);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  par::ThreadPool pool(4);
+  EXPECT_THROW((void)par::parallel_for(pool, 0, 100, [](std::size_t i) {
+    if (i == 57) throw std::runtime_error("57");
+  }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, GlobalPoolWorks) {
+  std::atomic<std::size_t> sum{0};
+  par::parallel_for(0, 100, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ParallelSum, MatchesSerialSum) {
+  par::ThreadPool pool(4);
+  const double got = par::parallel_sum(pool, 0, 10000, [](std::size_t i) {
+    return static_cast<double>(i) * 0.5;
+  });
+  EXPECT_DOUBLE_EQ(got, 0.5 * (10000.0 * 9999.0 / 2.0));
+}
+
+TEST(ParallelSum, DeterministicAcrossRuns) {
+  par::ThreadPool pool(8);
+  auto run = [&] {
+    return par::parallel_sum(pool, 0, 100000, [](std::size_t i) {
+      return 1.0 / (1.0 + static_cast<double>(i));
+    });
+  };
+  const double first = run();
+  for (int rep = 0; rep < 5; ++rep) {
+    EXPECT_DOUBLE_EQ(run(), first);  // bitwise equal: chunk-ordered reduction
+  }
+}
+
+TEST(ParallelSum, EmptyRangeIsZero) {
+  par::ThreadPool pool(2);
+  EXPECT_DOUBLE_EQ(
+      par::parallel_sum(pool, 3, 3, [](std::size_t) { return 1.0; }), 0.0);
+}

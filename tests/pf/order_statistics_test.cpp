@@ -1,0 +1,123 @@
+// Tests for the order-statistics fork/join model.
+
+#include "pf/order_statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ph/fitting.h"
+
+namespace pf = finwork::pf;
+namespace ph = finwork::ph;
+
+TEST(OrderStatistics, MaxOfOneIsMean) {
+  const ph::PhaseType e = ph::PhaseType::exponential(2.0);
+  EXPECT_NEAR(pf::expected_maximum(e, 1), 0.5, 1e-7);
+  EXPECT_NEAR(pf::expected_minimum(e, 1), 0.5, 1e-7);
+}
+
+TEST(OrderStatistics, ExponentialMaxIsHarmonicSum) {
+  // E[max of k Exp(lambda)] = H_k / lambda.
+  const double lambda = 1.5;
+  const ph::PhaseType e = ph::PhaseType::exponential(lambda);
+  for (std::size_t k : {2u, 3u, 5u, 10u}) {
+    double harmonic = 0.0;
+    for (std::size_t j = 1; j <= k; ++j) {
+      harmonic += 1.0 / static_cast<double>(j);
+    }
+    EXPECT_NEAR(pf::expected_maximum(e, k), harmonic / lambda, 1e-6) << k;
+  }
+}
+
+TEST(OrderStatistics, ExponentialMinIsScaledExponential) {
+  // min of k Exp(lambda) ~ Exp(k lambda).
+  const ph::PhaseType e = ph::PhaseType::exponential(2.0);
+  for (std::size_t k : {2u, 4u, 8u}) {
+    EXPECT_NEAR(pf::expected_minimum(e, k),
+                1.0 / (2.0 * static_cast<double>(k)), 1e-7)
+        << k;
+  }
+}
+
+TEST(OrderStatistics, MaxGrowsMinShrinks) {
+  const ph::PhaseType h = ph::hyperexponential_balanced(1.0, 10.0);
+  double prev_max = 0.0, prev_min = 10.0;
+  for (std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
+    const double mx = pf::expected_maximum(h, k);
+    const double mn = pf::expected_minimum(h, k);
+    EXPECT_GT(mx, prev_max);
+    EXPECT_LT(mn, prev_min);
+    prev_max = mx;
+    prev_min = mn;
+  }
+}
+
+TEST(OrderStatistics, HighVarianceInflatesMax) {
+  // Same mean, higher C^2 => larger expected max (heavier upper tail).
+  const double mean = 1.0;
+  const std::size_t k = 8;
+  const double mx_exp =
+      pf::expected_maximum(ph::PhaseType::exponential(1.0 / mean), k);
+  const double mx_h2 =
+      pf::expected_maximum(ph::hyperexponential_balanced(mean, 10.0), k);
+  const double mx_e4 = pf::expected_maximum(ph::PhaseType::erlang(4, mean), k);
+  EXPECT_GT(mx_h2, mx_exp);
+  EXPECT_LT(mx_e4, mx_exp);
+}
+
+TEST(OrderStatistics, ForkJoinMakespanWaves) {
+  const ph::PhaseType e = ph::PhaseType::exponential(1.0);
+  const double wave = pf::expected_maximum(e, 4);
+  // 8 tasks on 4 processors: exactly two full waves.
+  EXPECT_NEAR(pf::fork_join_makespan(e, 8, 4), 2.0 * wave, 1e-9);
+  // 9 tasks: two waves plus a singleton wave of mean 1.
+  EXPECT_NEAR(pf::fork_join_makespan(e, 9, 4), 2.0 * wave + 1.0, 1e-6);
+}
+
+TEST(OrderStatistics, ForkJoinSpeedupBelowIdeal) {
+  const ph::PhaseType e = ph::PhaseType::exponential(1.0);
+  const double sp = pf::fork_join_speedup(e, 64, 8);
+  EXPECT_GT(sp, 1.0);
+  EXPECT_LT(sp, 8.0);  // synchronization loss keeps it under K
+}
+
+TEST(OrderStatistics, ForkJoinSpeedupDropsWithVariance) {
+  const double sp_exp =
+      pf::fork_join_speedup(ph::PhaseType::exponential(1.0), 64, 8);
+  const double sp_h2 =
+      pf::fork_join_speedup(ph::hyperexponential_balanced(1.0, 10.0), 64, 8);
+  const double sp_e4 =
+      pf::fork_join_speedup(ph::PhaseType::erlang(4, 1.0), 64, 8);
+  EXPECT_GT(sp_e4, sp_exp);
+  EXPECT_GT(sp_exp, sp_h2);
+}
+
+TEST(OrderStatistics, Guards) {
+  const ph::PhaseType e = ph::PhaseType::exponential(1.0);
+  EXPECT_THROW((void)pf::expected_maximum(e, 0), std::invalid_argument);
+  EXPECT_THROW((void)pf::expected_minimum(e, 0), std::invalid_argument);
+  EXPECT_THROW((void)pf::fork_join_makespan(e, 0, 2), std::invalid_argument);
+  EXPECT_THROW((void)pf::fork_join_makespan(e, 2, 0), std::invalid_argument);
+}
+
+// Property: for Erlang-m, E[min] + E[max] >= 2 E[X] fails in general, but
+// E[min] <= E[X] <= E[max] always holds.
+class OrderBounds : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OrderBounds, MinMeanMaxOrdering) {
+  const std::size_t k = GetParam();
+  for (const ph::PhaseType& d :
+       {ph::PhaseType::exponential(0.7), ph::PhaseType::erlang(3, 2.0),
+        ph::hyperexponential_balanced(1.5, 6.0)}) {
+    const double mn = pf::expected_minimum(d, k);
+    const double mx = pf::expected_maximum(d, k);
+    const double tol = 1e-6 * d.mean();  // quadrature accuracy
+    EXPECT_LE(mn, d.mean() + tol);
+    EXPECT_GE(mx, d.mean() - tol);
+    EXPECT_LE(mn, mx + tol);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, OrderBounds,
+                         ::testing::Values(1, 2, 3, 5, 9));

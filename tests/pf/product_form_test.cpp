@@ -1,0 +1,175 @@
+// Tests for Buzen's convolution, exact MVA and the open Jackson solver.
+
+#include "pf/product_form.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/builders.h"
+#include "ph/phase_type.h"
+
+namespace pf = finwork::pf;
+namespace net = finwork::net;
+namespace ph = finwork::ph;
+namespace la = finwork::la;
+namespace cluster = finwork::cluster;
+
+namespace {
+
+net::NetworkSpec two_station_cycle(double mu1, double mu2, std::size_t c1,
+                                   std::size_t c2) {
+  std::vector<net::Station> st;
+  st.push_back({"A", ph::PhaseType::exponential(mu1), c1});
+  st.push_back({"B", ph::PhaseType::exponential(mu2), c2});
+  la::Vector entry{1.0, 0.0};
+  la::Matrix routing(2, 2, 0.0);
+  routing(0, 1) = 1.0;
+  la::Vector exit{0.0, 1.0};
+  return net::NetworkSpec(std::move(st), std::move(entry), std::move(routing),
+                          std::move(exit));
+}
+
+}  // namespace
+
+TEST(Convolution, SingleCustomerIsCycleTime) {
+  const net::NetworkSpec spec = two_station_cycle(2.0, 4.0, 1, 1);
+  const pf::ClosedNetworkResult r = pf::convolution(spec, 1);
+  EXPECT_NEAR(r.cycle_time, 0.5 + 0.25, 1e-12);
+  EXPECT_NEAR(r.system_throughput, 1.0 / 0.75, 1e-12);
+}
+
+TEST(Convolution, BalancedTwoStationKnownThroughput) {
+  // Two single servers, equal rates mu: X(N) = mu * N / (N + 1).
+  const double mu = 3.0;
+  for (std::size_t n : {1u, 2u, 5u, 10u}) {
+    const pf::ClosedNetworkResult r =
+        pf::convolution(two_station_cycle(mu, mu, 1, 1), n);
+    EXPECT_NEAR(r.system_throughput,
+                mu * static_cast<double>(n) / static_cast<double>(n + 1),
+                1e-10)
+        << n;
+  }
+}
+
+TEST(Convolution, UtilizationLittleLaw) {
+  const net::NetworkSpec spec = two_station_cycle(2.0, 5.0, 1, 1);
+  const pf::ClosedNetworkResult r = pf::convolution(spec, 4);
+  // U_j = X_j * s_j for single servers.
+  EXPECT_NEAR(r.utilization[0], r.station_throughput[0] / 2.0, 1e-10);
+  EXPECT_NEAR(r.utilization[1], r.station_throughput[1] / 5.0, 1e-10);
+  // Mean queue lengths sum to the population.
+  EXPECT_NEAR(r.mean_queue_length[0] + r.mean_queue_length[1], 4.0, 1e-10);
+}
+
+TEST(Convolution, BottleneckSaturates) {
+  const net::NetworkSpec spec = two_station_cycle(1.0, 100.0, 1, 1);
+  const pf::ClosedNetworkResult r = pf::convolution(spec, 20);
+  EXPECT_NEAR(r.system_throughput, 1.0, 1e-3);
+  EXPECT_GT(r.utilization[0], 0.99);
+}
+
+TEST(Convolution, LargePopulationNoOverflow) {
+  cluster::ApplicationModel app;
+  const net::NetworkSpec spec = cluster::central_cluster(8, app);
+  const pf::ClosedNetworkResult r = pf::convolution(spec, 500);
+  EXPECT_TRUE(std::isfinite(r.system_throughput));
+  EXPECT_GT(r.system_throughput, 0.0);
+}
+
+TEST(Convolution, GuardsZeroPopulation) {
+  EXPECT_THROW((void)pf::convolution(two_station_cycle(1.0, 1.0, 1, 1), 0),
+               std::invalid_argument);
+}
+
+TEST(Mva, AgreesWithConvolutionSingleServers) {
+  const net::NetworkSpec spec = two_station_cycle(2.0, 3.0, 1, 1);
+  for (std::size_t n : {1u, 3u, 7u, 15u}) {
+    const double conv = pf::convolution(spec, n).system_throughput;
+    const double mva = pf::exact_mva(spec, n).system_throughput;
+    EXPECT_NEAR(conv, mva, 1e-10) << n;
+  }
+}
+
+TEST(Mva, AgreesWithConvolutionWithDelayStations) {
+  cluster::ApplicationModel app;
+  for (std::size_t k : {2u, 4u, 6u}) {
+    const net::NetworkSpec spec = cluster::central_cluster(k, app);
+    const double conv = pf::convolution(spec, k).system_throughput;
+    const double mva = pf::exact_mva(spec, k).system_throughput;
+    EXPECT_NEAR(conv, mva, 1e-9 * conv) << k;
+  }
+}
+
+TEST(Mva, RejectsIntermediateMultiplicity) {
+  const net::NetworkSpec spec = two_station_cycle(1.0, 1.0, 2, 1);
+  EXPECT_THROW((void)pf::exact_mva(spec, 4), std::invalid_argument);
+  // convolution handles it fine
+  EXPECT_GT(pf::convolution(spec, 4).system_throughput, 0.0);
+}
+
+TEST(Mva, QueueLengthsSumToPopulation) {
+  cluster::ApplicationModel app;
+  const net::NetworkSpec spec = cluster::central_cluster(5, app);
+  const pf::ClosedNetworkResult r = pf::exact_mva(spec, 5);
+  EXPECT_NEAR(r.mean_queue_length.sum(), 5.0, 1e-9);
+}
+
+TEST(Convolution, MultiServerStationMatchesErlangModel) {
+  // Station B with 2 servers at rate mu each: with large think pool A, the
+  // 2-server station's throughput cap is 2 mu.
+  const net::NetworkSpec spec = two_station_cycle(50.0, 1.0, 30, 2);
+  const pf::ClosedNetworkResult r = pf::convolution(spec, 30);
+  EXPECT_NEAR(r.system_throughput, 2.0, 0.01);
+}
+
+TEST(OpenJackson, SingleQueueIsMm1) {
+  std::vector<net::Station> st{{"S", ph::PhaseType::exponential(2.0), 1}};
+  const net::NetworkSpec spec(std::move(st), la::Vector{1.0},
+                              la::Matrix(1, 1, 0.0), la::Vector{1.0});
+  const pf::OpenNetworkResult r = pf::open_jackson(spec, 1.0);
+  ASSERT_TRUE(r.stable);
+  // M/M/1 at rho = 0.5: L = rho/(1-rho) = 1, W = 1/(mu - lambda) = 1.
+  EXPECT_NEAR(r.utilization[0], 0.5, 1e-12);
+  EXPECT_NEAR(r.mean_customers[0], 1.0, 1e-10);
+  EXPECT_NEAR(r.mean_response_time[0], 1.0, 1e-10);
+}
+
+TEST(OpenJackson, MmcMatchesErlangC) {
+  // M/M/2 with lambda = 1.5, mu = 1: rho = 0.75, standard formulas.
+  std::vector<net::Station> st{{"S", ph::PhaseType::exponential(1.0), 2}};
+  const net::NetworkSpec spec(std::move(st), la::Vector{1.0},
+                              la::Matrix(1, 1, 0.0), la::Vector{1.0});
+  const pf::OpenNetworkResult r = pf::open_jackson(spec, 1.5);
+  ASSERT_TRUE(r.stable);
+  // Erlang-C(a=1.5, c=2) = (a^2/2)/(1-rho) / (1 + a + (a^2/2)/(1-rho))
+  const double a = 1.5;
+  const double pw = (a * a / 2.0 / 0.25) / (1.0 + a + a * a / 2.0 / 0.25);
+  const double lq = pw * 0.75 / 0.25;
+  EXPECT_NEAR(r.mean_customers[0], lq + a, 1e-10);
+}
+
+TEST(OpenJackson, TandemTrafficEquations) {
+  const net::NetworkSpec spec = two_station_cycle(4.0, 4.0, 1, 1);
+  const pf::OpenNetworkResult r = pf::open_jackson(spec, 2.0);
+  ASSERT_TRUE(r.stable);
+  EXPECT_NEAR(r.arrival_rates[0], 2.0, 1e-12);
+  EXPECT_NEAR(r.arrival_rates[1], 2.0, 1e-12);
+  // Two M/M/1 queues at rho = 0.5 in series: W = 0.5 + 0.5.
+  EXPECT_NEAR(r.system_response_time, 1.0, 1e-10);
+}
+
+TEST(OpenJackson, DetectsInstability) {
+  const net::NetworkSpec spec = two_station_cycle(1.0, 10.0, 1, 1);
+  EXPECT_FALSE(pf::open_jackson(spec, 1.5).stable);
+  EXPECT_THROW((void)pf::open_jackson(spec, 0.0), std::invalid_argument);
+}
+
+TEST(OpenJackson, FeedbackLoopAmplifiesTraffic) {
+  // Station routes back to itself with probability 0.5: lambda_eff = 2 lambda.
+  std::vector<net::Station> st{{"S", ph::PhaseType::exponential(10.0), 1}};
+  const net::NetworkSpec spec(std::move(st), la::Vector{1.0},
+                              la::Matrix{{0.5}}, la::Vector{0.5});
+  const pf::OpenNetworkResult r = pf::open_jackson(spec, 1.0);
+  EXPECT_NEAR(r.arrival_rates[0], 2.0, 1e-12);
+}

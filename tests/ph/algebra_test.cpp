@@ -1,0 +1,132 @@
+// Tests for PH closure operations: convolution, mixture, minimum, maximum.
+
+#include "ph/algebra.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pf/order_statistics.h"
+#include "ph/fitting.h"
+
+namespace ph = finwork::ph;
+namespace pf = finwork::pf;
+
+TEST(PhAlgebra, ConvolveMeansAdd) {
+  const ph::PhaseType a = ph::PhaseType::exponential(2.0);
+  const ph::PhaseType b = ph::PhaseType::erlang(3, 1.5);
+  const ph::PhaseType c = ph::convolve(a, b);
+  EXPECT_EQ(c.phases(), 4u);
+  EXPECT_NEAR(c.mean(), a.mean() + b.mean(), 1e-10);
+  // Variances of independent summands add.
+  EXPECT_NEAR(c.variance(), a.variance() + b.variance(), 1e-10);
+}
+
+TEST(PhAlgebra, ConvolveExponentialsIsErlang) {
+  const ph::PhaseType e = ph::PhaseType::exponential(3.0);
+  const ph::PhaseType sum = ph::convolve(e, e);
+  const ph::PhaseType erl = ph::PhaseType::erlang(2, 2.0 / 3.0);
+  for (double t : {0.1, 0.5, 1.0, 2.0}) {
+    EXPECT_NEAR(sum.pdf(t), erl.pdf(t), 1e-9) << t;
+  }
+}
+
+TEST(PhAlgebra, NFoldSumMatchesErlang) {
+  const ph::PhaseType e = ph::PhaseType::exponential(1.0);
+  const ph::PhaseType s5 = ph::n_fold_sum(e, 5);
+  EXPECT_EQ(s5.phases(), 5u);
+  EXPECT_NEAR(s5.mean(), 5.0, 1e-9);
+  EXPECT_NEAR(s5.scv(), 0.2, 1e-9);
+  EXPECT_THROW((void)ph::n_fold_sum(e, 0), std::invalid_argument);
+}
+
+TEST(PhAlgebra, MixtureOfExponentialsIsHyperexponential) {
+  const ph::PhaseType a = ph::PhaseType::exponential(1.0);
+  const ph::PhaseType b = ph::PhaseType::exponential(4.0);
+  const ph::PhaseType mix = ph::mixture(0.3, a, b);
+  const ph::PhaseType h2 = ph::PhaseType::hyperexponential({0.3, 0.7},
+                                                           {1.0, 4.0});
+  EXPECT_NEAR(mix.mean(), h2.mean(), 1e-12);
+  for (double t : {0.2, 1.0, 3.0}) EXPECT_NEAR(mix.pdf(t), h2.pdf(t), 1e-10);
+}
+
+TEST(PhAlgebra, MixtureWeightBounds) {
+  const ph::PhaseType e = ph::PhaseType::exponential(1.0);
+  EXPECT_THROW((void)ph::mixture(-0.1, e, e), std::invalid_argument);
+  EXPECT_THROW((void)ph::mixture(1.1, e, e), std::invalid_argument);
+  // Degenerate weights still behave.
+  EXPECT_NEAR(ph::mixture(1.0, e, ph::PhaseType::exponential(9.0)).mean(),
+              1.0, 1e-12);
+}
+
+TEST(PhAlgebra, MinimumOfExponentialsIsExponential) {
+  const ph::PhaseType a = ph::PhaseType::exponential(2.0);
+  const ph::PhaseType b = ph::PhaseType::exponential(3.0);
+  const ph::PhaseType mn = ph::minimum(a, b);
+  EXPECT_NEAR(mn.mean(), 1.0 / 5.0, 1e-12);
+  for (double t : {0.1, 0.4, 1.0}) {
+    EXPECT_NEAR(mn.reliability(t), std::exp(-5.0 * t), 1e-10) << t;
+  }
+}
+
+TEST(PhAlgebra, MaximumOfExponentialsClosedForm) {
+  // E[max(Exp(a), Exp(b))] = 1/a + 1/b - 1/(a+b).
+  const ph::PhaseType a = ph::PhaseType::exponential(1.0);
+  const ph::PhaseType b = ph::PhaseType::exponential(2.5);
+  const ph::PhaseType mx = ph::maximum(a, b);
+  EXPECT_NEAR(mx.mean(), 1.0 + 0.4 - 1.0 / 3.5, 1e-10);
+  EXPECT_EQ(mx.phases(), 1u + 1u + 1u);
+}
+
+TEST(PhAlgebra, MinMaxComplementarity) {
+  // E[min] + E[max] = E[X] + E[Y] for any independent pair.
+  const ph::PhaseType x = ph::PhaseType::erlang(2, 1.0);
+  const ph::PhaseType y = ph::hyperexponential_balanced(1.5, 5.0);
+  EXPECT_NEAR(ph::minimum(x, y).mean() + ph::maximum(x, y).mean(),
+              x.mean() + y.mean(), 1e-9);
+}
+
+TEST(PhAlgebra, MaximumReliabilityIsProductOfCdfsComplement) {
+  // F_max(t) = F_x(t) F_y(t).
+  const ph::PhaseType x = ph::PhaseType::erlang(2, 1.0);
+  const ph::PhaseType y = ph::PhaseType::exponential(0.8);
+  const ph::PhaseType mx = ph::maximum(x, y);
+  for (double t : {0.3, 1.0, 2.5}) {
+    EXPECT_NEAR(mx.cdf(t), x.cdf(t) * y.cdf(t), 1e-9) << t;
+  }
+}
+
+TEST(PhAlgebra, MinimumReliabilityIsProductOfReliabilities) {
+  const ph::PhaseType x = ph::PhaseType::erlang(3, 2.0);
+  const ph::PhaseType y = ph::hyperexponential_balanced(1.0, 4.0);
+  const ph::PhaseType mn = ph::minimum(x, y);
+  for (double t : {0.3, 1.0, 2.5}) {
+    EXPECT_NEAR(mn.reliability(t), x.reliability(t) * y.reliability(t), 1e-9)
+        << t;
+  }
+}
+
+TEST(PhAlgebra, NFoldMaximumMatchesOrderStatisticsQuadrature) {
+  // The exact PH construction of max of n iid must agree with the
+  // numerical-integration estimate used by the fork/join module.
+  const ph::PhaseType e = ph::PhaseType::erlang(2, 1.0);
+  for (std::size_t n : {2u, 3u, 4u}) {
+    const double exact = ph::n_fold_maximum(e, n).mean();
+    const double quad = pf::expected_maximum(e, n);
+    EXPECT_NEAR(exact, quad, 1e-5) << n;
+  }
+  EXPECT_THROW((void)ph::n_fold_maximum(e, 0), std::invalid_argument);
+}
+
+TEST(PhAlgebra, ComposedTaskModel) {
+  // A realistic composition: setup (Erlang-2) then with prob 0.3 a slow
+  // branch, all followed by a cleanup; sanity on mean via linearity.
+  const ph::PhaseType setup = ph::PhaseType::erlang(2, 0.5);
+  const ph::PhaseType fast = ph::PhaseType::exponential(4.0);
+  const ph::PhaseType slow = ph::PhaseType::exponential(0.5);
+  const ph::PhaseType work = ph::mixture(0.7, fast, slow);
+  const ph::PhaseType cleanup = ph::PhaseType::exponential(10.0);
+  const ph::PhaseType task = ph::convolve(ph::convolve(setup, work), cleanup);
+  EXPECT_NEAR(task.mean(), 0.5 + 0.7 * 0.25 + 0.3 * 2.0 + 0.1, 1e-9);
+  EXPECT_EQ(task.phases(), 2u + 2u + 1u);
+}

@@ -1,0 +1,164 @@
+// Tests for the moment-matching fits: balanced H2, fixed-p H2, f(0) H2,
+// mixed Erlang, scv dispatch, truncated power tail.
+
+#include "ph/fitting.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ph = finwork::ph;
+
+TEST(H2Balanced, MatchesMeanAndScv) {
+  for (double scv : {1.5, 2.0, 10.0, 50.0, 100.0}) {
+    const ph::PhaseType h = ph::hyperexponential_balanced(3.0, scv);
+    EXPECT_NEAR(h.mean(), 3.0, 1e-10) << scv;
+    EXPECT_NEAR(h.scv(), scv, 1e-8) << scv;
+  }
+}
+
+TEST(H2Balanced, BalancedMeansProperty) {
+  const ph::PhaseType h = ph::hyperexponential_balanced(2.0, 10.0);
+  // p1/mu1 == p2/mu2
+  const double r1 = h.entry()[0] / h.rate_matrix()(0, 0);
+  const double r2 = h.entry()[1] / h.rate_matrix()(1, 1);
+  EXPECT_NEAR(r1, r2, 1e-12);
+}
+
+TEST(H2Balanced, ScvOneDegeneratesToExponential) {
+  const ph::PhaseType h = ph::hyperexponential_balanced(5.0, 1.0);
+  EXPECT_EQ(h.phases(), 1u);
+  EXPECT_NEAR(h.mean(), 5.0, 1e-12);
+}
+
+TEST(H2Balanced, RejectsScvBelowOne) {
+  EXPECT_THROW((void)ph::hyperexponential_balanced(1.0, 0.5), std::domain_error);
+  EXPECT_THROW((void)ph::hyperexponential_balanced(-1.0, 2.0),
+               std::invalid_argument);
+}
+
+TEST(H2FixedP, MatchesMeanAndScv) {
+  // Feasibility requires scv + 1 < 2 / min(p1, p2); pick pairs inside it.
+  const std::pair<double, double> cases[] = {
+      {0.2, 6.0}, {0.5, 2.5}, {0.8, 6.0}, {0.1, 15.0}};
+  for (const auto& [p1, scv] : cases) {
+    const ph::PhaseType h = ph::hyperexponential_fixed_p(4.0, scv, p1);
+    EXPECT_NEAR(h.mean(), 4.0, 1e-9) << p1;
+    EXPECT_NEAR(h.scv(), scv, 1e-7) << p1;
+    EXPECT_NEAR(h.entry()[0], p1, 1e-12) << p1;
+  }
+}
+
+TEST(H2FixedP, InfeasibleScvForBalancedProbabilitiesThrows) {
+  // p1 = 0.5 caps the attainable scv at 3 (one branch degenerate).
+  EXPECT_THROW((void)ph::hyperexponential_fixed_p(4.0, 6.0, 0.5),
+               std::domain_error);
+}
+
+TEST(H2FixedP, GuardsParameters) {
+  EXPECT_THROW((void)ph::hyperexponential_fixed_p(1.0, 2.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)ph::hyperexponential_fixed_p(1.0, 2.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)ph::hyperexponential_fixed_p(1.0, 0.9, 0.5),
+               std::domain_error);
+  EXPECT_THROW((void)ph::hyperexponential_fixed_p(0.0, 2.0, 0.5),
+               std::invalid_argument);
+}
+
+TEST(H2F0, MatchesRequestedDensityAtZero) {
+  const double mean = 2.0, scv = 8.0;
+  // The balanced fit's f(0) is attainable by construction; perturb mildly.
+  const ph::PhaseType b = ph::hyperexponential_balanced(mean, scv);
+  const double f0 = b.pdf(0.0) * 1.05;
+  const ph::PhaseType h = ph::hyperexponential_f0(mean, scv, f0);
+  EXPECT_NEAR(h.mean(), mean, 1e-8);
+  EXPECT_NEAR(h.scv(), scv, 1e-6);
+  EXPECT_NEAR(h.pdf(0.0), f0, 1e-6);
+}
+
+TEST(H2F0, UnattainableThrows) {
+  EXPECT_THROW((void)ph::hyperexponential_f0(1.0, 4.0, 1e9), std::domain_error);
+  EXPECT_THROW((void)ph::hyperexponential_f0(1.0, 4.0, -1.0),
+               std::invalid_argument);
+}
+
+TEST(ErlangMixture, PureErlangWhenScvIsReciprocalInteger) {
+  const ph::PhaseType e = ph::erlang_mixture(6.0, 1.0 / 3.0);
+  EXPECT_EQ(e.phases(), 3u);
+  EXPECT_NEAR(e.mean(), 6.0, 1e-10);
+  EXPECT_NEAR(e.scv(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(ErlangMixture, MatchesIntermediateScv) {
+  for (double scv : {0.9, 0.7, 0.42, 0.15}) {
+    const ph::PhaseType e = ph::erlang_mixture(2.5, scv);
+    EXPECT_NEAR(e.mean(), 2.5, 1e-9) << scv;
+    EXPECT_NEAR(e.scv(), scv, 1e-7) << scv;
+  }
+}
+
+TEST(ErlangMixture, ScvOneIsExponential) {
+  EXPECT_EQ(ph::erlang_mixture(1.0, 1.0).phases(), 1u);
+}
+
+TEST(ErlangMixture, Guards) {
+  EXPECT_THROW((void)ph::erlang_mixture(1.0, 0.0), std::domain_error);
+  EXPECT_THROW((void)ph::erlang_mixture(1.0, 1.5), std::domain_error);
+  EXPECT_THROW((void)ph::erlang_mixture(0.0, 0.5), std::invalid_argument);
+}
+
+TEST(FitScv, DispatchesAcrossFullRange) {
+  for (double scv : {0.1, 0.33, 0.5, 1.0, 2.0, 10.0, 50.0}) {
+    const ph::PhaseType d = ph::fit_scv(7.0, scv);
+    EXPECT_NEAR(d.mean(), 7.0, 1e-8) << scv;
+    EXPECT_NEAR(d.scv(), scv, 1e-6) << scv;
+  }
+  EXPECT_THROW((void)ph::fit_scv(1.0, 0.0), std::domain_error);
+}
+
+TEST(PowerTail, MeanNormalization) {
+  const ph::PhaseType t = ph::truncated_power_tail(8, 1.4, 5.0);
+  EXPECT_NEAR(t.mean(), 5.0, 1e-9);
+  EXPECT_EQ(t.phases(), 8u);
+}
+
+TEST(PowerTail, HeavierTailThanExponential) {
+  const ph::PhaseType t = ph::truncated_power_tail(10, 1.4, 1.0);
+  const ph::PhaseType e = ph::PhaseType::exponential(1.0);
+  // Far in the tail the TPT reliability dominates the exponential's.
+  EXPECT_GT(t.reliability(20.0), 10.0 * e.reliability(20.0));
+}
+
+TEST(PowerTail, ScvGrowsWithLevels) {
+  const double s4 = ph::truncated_power_tail(4, 1.4, 1.0).scv();
+  const double s8 = ph::truncated_power_tail(8, 1.4, 1.0).scv();
+  const double s12 = ph::truncated_power_tail(12, 1.4, 1.0).scv();
+  EXPECT_LT(s4, s8);
+  EXPECT_LT(s8, s12);  // alpha < 2: variance diverges as M -> infinity
+}
+
+TEST(PowerTail, Guards) {
+  EXPECT_THROW((void)ph::truncated_power_tail(0, 1.4, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)ph::truncated_power_tail(4, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)ph::truncated_power_tail(4, 1.4, 1.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)ph::truncated_power_tail(4, 1.4, 0.0), std::invalid_argument);
+}
+
+// Property sweep: every fit in the paper's C^2 grid reproduces (mean, scv).
+class FitSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FitSweep, MeanAndScvReproduced) {
+  const double scv = GetParam();
+  const double mean = 0.64;  // the default remote-disk service time scale
+  const ph::PhaseType d = ph::fit_scv(mean, scv);
+  EXPECT_NEAR(d.mean(), mean, 1e-9);
+  EXPECT_NEAR(d.scv(), scv, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperGrid, FitSweep,
+                         ::testing::Values(1.0 / 3.0, 0.5, 1.0, 2.0, 5.0, 10.0,
+                                           20.0, 30.0, 40.0, 50.0, 60.0, 70.0,
+                                           80.0, 90.0, 100.0));

@@ -1,0 +1,192 @@
+// Tests for the PhaseType <p, B> representation: moments, density,
+// reliability, embedding pieces.
+
+#include "ph/phase_type.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ph = finwork::ph;
+namespace la = finwork::la;
+
+TEST(PhaseType, ExponentialBasics) {
+  const ph::PhaseType e = ph::PhaseType::exponential(2.0);
+  EXPECT_EQ(e.phases(), 1u);
+  EXPECT_DOUBLE_EQ(e.mean(), 0.5);
+  EXPECT_NEAR(e.scv(), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(e.phase_rate(0), 2.0);
+  EXPECT_DOUBLE_EQ(e.exit_probability(0), 1.0);
+}
+
+TEST(PhaseType, ExponentialMomentsClosedForm) {
+  const double rate = 3.0;
+  const ph::PhaseType e = ph::PhaseType::exponential(rate);
+  // E[T^n] = n! / rate^n
+  double factorial = 1.0;
+  for (std::size_t n = 1; n <= 5; ++n) {
+    factorial *= static_cast<double>(n);
+    EXPECT_NEAR(e.moment(n), factorial / std::pow(rate, n), 1e-10)
+        << "n = " << n;
+  }
+}
+
+TEST(PhaseType, ExponentialPdfCdf) {
+  const ph::PhaseType e = ph::PhaseType::exponential(1.5);
+  for (double t : {0.1, 0.7, 2.0}) {
+    EXPECT_NEAR(e.pdf(t), 1.5 * std::exp(-1.5 * t), 1e-10);
+    EXPECT_NEAR(e.cdf(t), 1.0 - std::exp(-1.5 * t), 1e-10);
+    EXPECT_NEAR(e.reliability(t), std::exp(-1.5 * t), 1e-10);
+  }
+  EXPECT_DOUBLE_EQ(e.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.reliability(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.pdf(-1.0), 0.0);
+}
+
+TEST(PhaseType, ErlangMeanAndScv) {
+  for (std::size_t m : {1u, 2u, 3u, 5u, 10u}) {
+    const ph::PhaseType e = ph::PhaseType::erlang(m, 4.0);
+    EXPECT_EQ(e.phases(), m);
+    EXPECT_NEAR(e.mean(), 4.0, 1e-12);
+    EXPECT_NEAR(e.scv(), 1.0 / static_cast<double>(m), 1e-10);
+  }
+}
+
+TEST(PhaseType, Erlang1IsExponential) {
+  const ph::PhaseType e1 = ph::PhaseType::erlang(1, 2.0);
+  const ph::PhaseType ex = ph::PhaseType::exponential(0.5);
+  EXPECT_NEAR(e1.mean(), ex.mean(), 1e-14);
+  for (double t : {0.2, 1.0, 5.0}) {
+    EXPECT_NEAR(e1.pdf(t), ex.pdf(t), 1e-11);
+  }
+}
+
+TEST(PhaseType, ErlangPdfClosedForm) {
+  // Erlang-2 with rate 2 per stage (mean 1): f(t) = 4 t e^{-2t}.
+  const ph::PhaseType e = ph::PhaseType::erlang(2, 1.0);
+  for (double t : {0.1, 0.5, 1.5, 3.0}) {
+    EXPECT_NEAR(e.pdf(t), 4.0 * t * std::exp(-2.0 * t), 1e-9) << t;
+  }
+}
+
+TEST(PhaseType, HyperexponentialMeanAndMoments) {
+  const ph::PhaseType h =
+      ph::PhaseType::hyperexponential({0.25, 0.75}, {1.0, 3.0});
+  EXPECT_NEAR(h.mean(), 0.25 / 1.0 + 0.75 / 3.0, 1e-12);
+  EXPECT_NEAR(h.moment(2), 2.0 * (0.25 / 1.0 + 0.75 / 9.0), 1e-12);
+}
+
+TEST(PhaseType, HyperexponentialPdfClosedForm) {
+  const ph::PhaseType h =
+      ph::PhaseType::hyperexponential({0.4, 0.6}, {2.0, 0.5});
+  for (double t : {0.1, 1.0, 4.0}) {
+    const double expected =
+        0.4 * 2.0 * std::exp(-2.0 * t) + 0.6 * 0.5 * std::exp(-0.5 * t);
+    EXPECT_NEAR(h.pdf(t), expected, 1e-10) << t;
+  }
+}
+
+TEST(PhaseType, CdfIsMonotoneAndNormalized) {
+  const ph::PhaseType h =
+      ph::PhaseType::hyperexponential({0.1, 0.9}, {0.2, 5.0});
+  double prev = 0.0;
+  for (double t = 0.0; t < 40.0; t += 0.5) {
+    const double c = h.cdf(t);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_LE(c, 1.0 + 1e-12);
+    prev = c;
+  }
+  EXPECT_NEAR(h.cdf(200.0), 1.0, 1e-8);
+}
+
+TEST(PhaseType, WithMeanRescalesPreservingShape) {
+  const ph::PhaseType e = ph::PhaseType::erlang(3, 2.0);
+  const ph::PhaseType scaled = e.with_mean(10.0);
+  EXPECT_NEAR(scaled.mean(), 10.0, 1e-10);
+  EXPECT_NEAR(scaled.scv(), e.scv(), 1e-10);
+  EXPECT_EQ(scaled.phases(), e.phases());
+}
+
+TEST(PhaseType, PsiOfIdentityIsOne) {
+  const ph::PhaseType e = ph::PhaseType::erlang(4, 1.0);
+  EXPECT_NEAR(e.psi(la::identity(4)), 1.0, 1e-14);
+}
+
+TEST(PhaseType, PsiDimensionMismatchThrows) {
+  const ph::PhaseType e = ph::PhaseType::exponential(1.0);
+  EXPECT_THROW((void)e.psi(la::identity(2)), std::invalid_argument);
+}
+
+TEST(PhaseType, EmbeddingPiecesOfErlang) {
+  const ph::PhaseType e = ph::PhaseType::erlang(3, 3.0);  // stage rate 1
+  EXPECT_DOUBLE_EQ(e.phase_rate(0), 1.0);
+  EXPECT_DOUBLE_EQ(e.jump_probability(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(e.jump_probability(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(e.exit_probability(0), 0.0);
+  EXPECT_DOUBLE_EQ(e.exit_probability(2), 1.0);
+}
+
+TEST(PhaseType, ValidationRejectsBadInputs) {
+  // entrance not summing to one
+  EXPECT_THROW((void)ph::PhaseType(la::Vector{0.5}, la::Matrix{{1.0}}),
+               std::invalid_argument);
+  // negative entrance
+  EXPECT_THROW((void)ph::PhaseType(la::Vector{-0.5, 1.5}, la::identity(2)),
+      std::invalid_argument);
+  // non-positive diagonal
+  EXPECT_THROW((void)ph::PhaseType(la::Vector{1.0}, la::Matrix{{0.0}}),
+      std::invalid_argument);
+  // positive off-diagonal in B (not a sub-generator)
+  EXPECT_THROW((void)ph::PhaseType(la::Vector{1.0, 0.0}, la::Matrix{{1.0, 0.5}, {0.0, 1.0}}),
+      std::invalid_argument);
+  // dimension mismatch
+  EXPECT_THROW((void)ph::PhaseType(la::Vector{1.0}, la::identity(2)),
+               std::invalid_argument);
+  // empty
+  EXPECT_THROW((void)ph::PhaseType(la::Vector{}, la::Matrix{}),
+               std::invalid_argument);
+}
+
+TEST(PhaseType, ConstructorGuardsBadRates) {
+  EXPECT_THROW((void)ph::PhaseType::exponential(0.0), std::invalid_argument);
+  EXPECT_THROW((void)ph::PhaseType::exponential(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)ph::PhaseType::erlang(0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)ph::PhaseType::erlang(2, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)ph::PhaseType::hyperexponential({1.0}, {0.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)ph::PhaseType::hyperexponential({0.5, 0.5}, {1.0}),
+               std::invalid_argument);
+}
+
+TEST(PhaseType, MomentZeroIsOne) {
+  EXPECT_DOUBLE_EQ(ph::PhaseType::exponential(2.0).moment(0), 1.0);
+}
+
+// Property: for any PH here, pdf integrates (by trapezoid) to ~cdf.
+class PhDensityConsistency : public ::testing::TestWithParam<int> {};
+
+TEST_P(PhDensityConsistency, PdfIntegratesToCdf) {
+  ph::PhaseType dist = [&] {
+    switch (GetParam()) {
+      case 0: return ph::PhaseType::exponential(1.0);
+      case 1: return ph::PhaseType::erlang(4, 2.0);
+      case 2:
+        return ph::PhaseType::hyperexponential({0.3, 0.7}, {0.5, 4.0});
+      default:
+        return ph::PhaseType::erlang(2, 0.5);
+    }
+  }();
+  const double upto = 3.0 * dist.mean();
+  const int steps = 4000;
+  const double h = upto / steps;
+  double integral = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const double t0 = i * h;
+    integral += 0.5 * h * (dist.pdf(t0) + dist.pdf(t0 + h));
+  }
+  EXPECT_NEAR(integral, dist.cdf(upto), 2e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, PhDensityConsistency,
+                         ::testing::Range(0, 4));

@@ -1,0 +1,89 @@
+// Tests for the xoshiro256++ generator and variate transforms.
+
+#include "ph/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "stats/online_stats.h"
+
+namespace rng = finwork::rng;
+
+TEST(Rng, DeterministicForSameSeed) {
+  rng::Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  rng::Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  const rng::Xoshiro256 root(42);
+  rng::Xoshiro256 c0 = root.split(0);
+  rng::Xoshiro256 c0_again = root.split(0);
+  EXPECT_EQ(c0(), c0_again());
+  // Streams 0 and 1 should diverge immediately.
+  rng::Xoshiro256 d0 = root.split(0);
+  rng::Xoshiro256 d1 = root.split(1);
+  EXPECT_NE(d0(), d1());
+}
+
+TEST(Rng, Uniform01InRange) {
+  rng::Xoshiro256 g(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng::uniform01(g);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01OpenLowNeverZero) {
+  rng::Xoshiro256 g(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(rng::uniform01_open_low(g), 0.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanAndVariance) {
+  rng::Xoshiro256 g(11);
+  finwork::stats::OnlineStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng::uniform01(g));
+  EXPECT_NEAR(s.mean(), 0.5, 0.005);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  rng::Xoshiro256 g(13);
+  finwork::stats::OnlineStats s;
+  const double rate = 2.5;
+  for (int i = 0; i < 200000; ++i) s.add(rng::exponential(g, rate));
+  EXPECT_NEAR(s.mean(), 1.0 / rate, 0.01);
+  // Exponential has C^2 = 1.
+  EXPECT_NEAR(s.variance() / (s.mean() * s.mean()), 1.0, 0.05);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  rng::Xoshiro256 g(17);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t idx = rng::uniform_index(g, 5);
+    EXPECT_LT(idx, 5u);
+    seen.insert(idx);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, Splitmix64KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = rng::splitmix64(state);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(first, rng::splitmix64(state2));
+  EXPECT_NE(rng::splitmix64(state), first);  // state advanced
+}

@@ -1,0 +1,129 @@
+// Statistical tests for exact PH sampling: empirical moments and empirical
+// CDF must match the analytic ones.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "ph/fitting.h"
+#include "ph/phase_type.h"
+#include "ph/rng.h"
+#include "stats/online_stats.h"
+
+namespace ph = finwork::ph;
+namespace rng = finwork::rng;
+
+namespace {
+
+finwork::stats::OnlineStats sample_stats(const ph::PhaseType& dist,
+                                         std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 g(seed);
+  finwork::stats::OnlineStats s;
+  for (std::size_t i = 0; i < n; ++i) s.add(dist.sample(g));
+  return s;
+}
+
+}  // namespace
+
+TEST(Sampling, ExponentialMean) {
+  const ph::PhaseType e = ph::PhaseType::exponential(0.5);
+  const auto s = sample_stats(e, 100000, 1);
+  EXPECT_NEAR(s.mean(), 2.0, 4.0 * s.std_error() + 1e-9);
+}
+
+TEST(Sampling, ErlangMeanAndVariance) {
+  const ph::PhaseType e = ph::PhaseType::erlang(4, 2.0);
+  const auto s = sample_stats(e, 100000, 2);
+  EXPECT_NEAR(s.mean(), 2.0, 0.02);
+  EXPECT_NEAR(s.variance(), e.variance(), 0.05 * e.variance() + 0.01);
+}
+
+TEST(Sampling, HyperexponentialHighVariance) {
+  const ph::PhaseType h = ph::hyperexponential_balanced(1.0, 10.0);
+  const auto s = sample_stats(h, 400000, 3);
+  EXPECT_NEAR(s.mean(), 1.0, 0.03);
+  const double scv = s.variance() / (s.mean() * s.mean());
+  EXPECT_NEAR(scv, 10.0, 1.0);
+}
+
+TEST(Sampling, SamplesAreNonNegative) {
+  const ph::PhaseType h = ph::hyperexponential_balanced(1.0, 25.0);
+  rng::Xoshiro256 g(4);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(h.sample(g), 0.0);
+}
+
+TEST(Sampling, EmpiricalCdfMatchesAnalytic) {
+  const ph::PhaseType e = ph::PhaseType::erlang(3, 1.0);
+  rng::Xoshiro256 g(5);
+  const std::size_t n = 100000;
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = e.sample(g);
+  std::sort(xs.begin(), xs.end());
+  // Kolmogorov-Smirnov-style check at a few quantiles.
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double xq = xs[static_cast<std::size_t>(p * (n - 1))];
+    EXPECT_NEAR(e.cdf(xq), p, 0.01) << "quantile " << p;
+  }
+}
+
+TEST(Sampling, EntryPhaseFollowsEntranceVector) {
+  const ph::PhaseType h =
+      ph::PhaseType::hyperexponential({0.2, 0.8}, {1.0, 2.0});
+  rng::Xoshiro256 g(6);
+  std::size_t first = 0;
+  const std::size_t n = 100000;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (h.sample_entry_phase(g) == 0) ++first;
+  }
+  EXPECT_NEAR(static_cast<double>(first) / static_cast<double>(n), 0.2, 0.01);
+}
+
+TEST(Sampling, NextPhaseRespectsJumpProbabilities) {
+  // Erlang-2: from phase 0 always to phase 1, from phase 1 always exit.
+  const ph::PhaseType e = ph::PhaseType::erlang(2, 1.0);
+  rng::Xoshiro256 g(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(e.sample_next_phase(g, 0), 1u);
+    EXPECT_EQ(e.sample_next_phase(g, 1), 2u);  // phases() == exit marker
+  }
+}
+
+TEST(Sampling, DeterministicGivenSeed) {
+  const ph::PhaseType h = ph::hyperexponential_balanced(1.0, 5.0);
+  rng::Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(h.sample(a), h.sample(b));
+  }
+}
+
+TEST(Sampling, PowerTailProducesExtremeValues) {
+  const ph::PhaseType t = ph::truncated_power_tail(10, 1.2, 1.0);
+  rng::Xoshiro256 g(8);
+  double biggest = 0.0;
+  for (int i = 0; i < 200000; ++i) biggest = std::max(biggest, t.sample(g));
+  // With alpha = 1.2 and 200k draws the max should dwarf the mean.
+  EXPECT_GT(biggest, 50.0);
+}
+
+// Property: empirical first two moments match analytic for every family.
+class MomentAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(MomentAgreement, FirstTwoMoments) {
+  const ph::PhaseType dist = [&] {
+    switch (GetParam()) {
+      case 0: return ph::PhaseType::exponential(1.0);
+      case 1: return ph::PhaseType::erlang(5, 3.0);
+      case 2: return ph::hyperexponential_balanced(2.0, 4.0);
+      case 3: return ph::erlang_mixture(1.5, 0.4);
+      default: return ph::truncated_power_tail(6, 2.5, 1.0);
+    }
+  }();
+  const auto s = sample_stats(dist, 300000, 100 + GetParam());
+  EXPECT_NEAR(s.mean(), dist.mean(), 5.0 * s.std_error() + 1e-6);
+  EXPECT_NEAR(s.variance(), dist.variance(),
+              0.1 * dist.variance() + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, MomentAgreement, ::testing::Range(0, 5));

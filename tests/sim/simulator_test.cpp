@@ -1,0 +1,148 @@
+// Tests for the discrete-event simulator: structural properties,
+// determinism, closed-form agreement.
+
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/builders.h"
+#include "ph/fitting.h"
+
+namespace sim = finwork::sim;
+namespace net = finwork::net;
+namespace ph = finwork::ph;
+namespace la = finwork::la;
+namespace rng = finwork::rng;
+namespace cluster = finwork::cluster;
+
+namespace {
+
+net::NetworkSpec single_station(ph::PhaseType svc, std::size_t mult) {
+  std::vector<net::Station> st{{"S", std::move(svc), mult}};
+  return net::NetworkSpec(std::move(st), la::Vector{1.0}, la::Matrix(1, 1, 0.0),
+                          la::Vector{1.0});
+}
+
+}  // namespace
+
+TEST(Simulator, DeparturesAreSortedAndComplete) {
+  cluster::ApplicationModel app;
+  const sim::NetworkSimulator s(cluster::central_cluster(4, app), 4);
+  rng::Xoshiro256 g(1);
+  const std::vector<double> dep = s.run_once(25, g);
+  ASSERT_EQ(dep.size(), 25u);
+  EXPECT_TRUE(std::is_sorted(dep.begin(), dep.end()));
+  EXPECT_GT(dep.front(), 0.0);
+}
+
+TEST(Simulator, DeterministicGivenSeed) {
+  cluster::ApplicationModel app;
+  const sim::NetworkSimulator s(cluster::central_cluster(3, app), 3);
+  rng::Xoshiro256 a(7), b(7);
+  EXPECT_EQ(s.run_once(10, a), s.run_once(10, b));
+}
+
+TEST(Simulator, DifferentSeedsDiffer) {
+  cluster::ApplicationModel app;
+  const sim::NetworkSimulator s(cluster::central_cluster(3, app), 3);
+  rng::Xoshiro256 a(7), b(8);
+  EXPECT_NE(s.run_once(10, a), s.run_once(10, b));
+}
+
+TEST(Simulator, SingleServerRenewalMean) {
+  // K = 1 on a single exponential station: E(T) = N / rate.
+  const sim::NetworkSimulator s(single_station(ph::PhaseType::exponential(2.0), 1), 1);
+  sim::SimulationOptions opts;
+  opts.replications = 4000;
+  const sim::SimulationResult r = s.run(10, opts);
+  EXPECT_NEAR(r.makespan.mean(), 5.0, 4.0 * r.makespan.ci_half_width());
+}
+
+TEST(Simulator, ForkJoinHarmonicMakespan) {
+  // N = K = 5 on private exponential servers: E = H_5 / lambda.
+  const sim::NetworkSimulator s(single_station(ph::PhaseType::exponential(1.0), 5), 5);
+  sim::SimulationOptions opts;
+  opts.replications = 8000;
+  const sim::SimulationResult r = s.run(5, opts);
+  const double h5 = 1.0 + 0.5 + 1.0 / 3.0 + 0.25 + 0.2;
+  EXPECT_NEAR(r.makespan.mean(), h5, 4.0 * r.makespan.ci_half_width());
+}
+
+TEST(Simulator, SharedFcfsPhStation) {
+  // Two tasks on one shared H2 server: makespan = 2 * mean.
+  const ph::PhaseType h2 = ph::hyperexponential_balanced(1.0, 9.0);
+  const sim::NetworkSimulator s(single_station(h2, 1), 2);
+  sim::SimulationOptions opts;
+  opts.replications = 20000;
+  const sim::SimulationResult r = s.run(2, opts);
+  EXPECT_NEAR(r.makespan.mean(), 2.0, 5.0 * r.makespan.ci_half_width());
+}
+
+TEST(Simulator, ParallelAndSerialRunsAgreeStatistically) {
+  cluster::ApplicationModel app;
+  const sim::NetworkSimulator s(cluster::central_cluster(3, app), 3);
+  sim::SimulationOptions par_opts;
+  par_opts.replications = 500;
+  par_opts.parallel = true;
+  sim::SimulationOptions ser_opts = par_opts;
+  ser_opts.parallel = false;
+  const auto rp = s.run(15, par_opts);
+  const auto rs = s.run(15, ser_opts);
+  // Same seeds, same streams: identical counts and near-identical means
+  // (merge order may differ in floating point).
+  EXPECT_EQ(rp.makespan.count(), rs.makespan.count());
+  EXPECT_NEAR(rp.makespan.mean(), rs.makespan.mean(), 1e-9);
+}
+
+TEST(Simulator, InterdepartureStatsConsistent) {
+  cluster::ApplicationModel app;
+  const sim::NetworkSimulator s(cluster::central_cluster(4, app), 4);
+  sim::SimulationOptions opts;
+  opts.replications = 300;
+  const auto r = s.run(20, opts);
+  ASSERT_EQ(r.interdeparture.size(), 20u);
+  ASSERT_EQ(r.departure_time.size(), 20u);
+  // Sum of mean inter-departure gaps equals the mean makespan.
+  double total = 0.0;
+  for (const auto& st : r.interdeparture) total += st.mean();
+  EXPECT_NEAR(total, r.makespan.mean(), 1e-9);
+  // Departure times increase in the mean.
+  for (std::size_t i = 1; i < 20; ++i) {
+    EXPECT_GT(r.departure_time[i].mean(), r.departure_time[i - 1].mean());
+  }
+}
+
+TEST(Simulator, MultiServerPhStationSupported) {
+  // The simulator handles configurations the analytic space rejects:
+  // 2-server H2 station.  Just verify it runs and produces sane output.
+  const ph::PhaseType h2 = ph::hyperexponential_balanced(1.0, 4.0);
+  const sim::NetworkSimulator s(single_station(h2, 2), 4);
+  rng::Xoshiro256 g(3);
+  const auto dep = s.run_once(12, g);
+  EXPECT_EQ(dep.size(), 12u);
+  EXPECT_TRUE(std::is_sorted(dep.begin(), dep.end()));
+}
+
+TEST(Simulator, GuardsBadArguments) {
+  cluster::ApplicationModel app;
+  EXPECT_THROW((void)sim::NetworkSimulator(cluster::central_cluster(2, app), 0),
+               std::invalid_argument);
+  const sim::NetworkSimulator s(cluster::central_cluster(2, app), 2);
+  rng::Xoshiro256 g(1);
+  EXPECT_THROW((void)s.run_once(0, g), std::invalid_argument);
+}
+
+TEST(Simulator, ErlangServiceUsesPhases) {
+  // Erlang-4 service, one task: mean = 1 but variance = 1/4; check the
+  // sample mean and that spread is visibly sub-exponential.
+  const sim::NetworkSimulator s(single_station(ph::PhaseType::erlang(4, 1.0), 1), 1);
+  sim::SimulationOptions opts;
+  opts.replications = 20000;
+  const auto r = s.run(1, opts);
+  EXPECT_NEAR(r.makespan.mean(), 1.0, 4.0 * r.makespan.ci_half_width());
+  const double scv =
+      r.makespan.variance() / (r.makespan.mean() * r.makespan.mean());
+  EXPECT_NEAR(scv, 0.25, 0.05);
+}

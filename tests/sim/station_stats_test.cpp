@@ -1,0 +1,86 @@
+// Tests for the simulator's per-station utilization and queue-length
+// tallies, cross-checked against product-form values in the steady-heavy
+// regime.
+
+#include <gtest/gtest.h>
+
+#include "cluster/builders.h"
+#include "pf/product_form.h"
+#include "sim/simulator.h"
+
+namespace sim = finwork::sim;
+namespace net = finwork::net;
+namespace ph = finwork::ph;
+namespace la = finwork::la;
+namespace pf = finwork::pf;
+namespace cluster = finwork::cluster;
+
+TEST(StationStats, SingleSaturatedServerIsFullyBusy) {
+  std::vector<net::Station> st{{"S", ph::PhaseType::exponential(1.0), 1}};
+  const net::NetworkSpec spec(std::move(st), la::Vector{1.0},
+                              la::Matrix(1, 1, 0.0), la::Vector{1.0});
+  const sim::NetworkSimulator simulator(spec, 3);
+  finwork::rng::Xoshiro256 rng(1);
+  std::vector<sim::StationTally> tallies;
+  (void)simulator.run_once(50, rng, &tallies);
+  ASSERT_EQ(tallies.size(), 1u);
+  // The single server is busy from t=0 to the final departure.
+  EXPECT_NEAR(tallies[0].utilization, 1.0, 1e-12);
+  // 3 admitted until the drain; queue length averages just under 3.
+  EXPECT_GT(tallies[0].mean_queue_length, 2.5);
+  EXPECT_LE(tallies[0].mean_queue_length, 3.0);
+}
+
+TEST(StationStats, TalliesOptional) {
+  cluster::ApplicationModel app;
+  const sim::NetworkSimulator simulator(cluster::central_cluster(3, app), 3);
+  finwork::rng::Xoshiro256 rng(2);
+  // Null tallies pointer must be safe (and is the default).
+  EXPECT_EQ(simulator.run_once(10, rng).size(), 10u);
+}
+
+TEST(StationStats, QueueLengthsSumToPopulationWhileSaturated) {
+  // With a huge workload the system stays at population K almost all the
+  // time, so station queue lengths must sum to ~K.
+  cluster::ApplicationModel app;
+  const sim::NetworkSimulator simulator(cluster::central_cluster(4, app), 4);
+  sim::SimulationOptions opts;
+  opts.replications = 50;
+  const sim::SimulationResult r = simulator.run(400, opts);
+  double total = 0.0;
+  for (const auto& q : r.queue_length) total += q.mean();
+  EXPECT_NEAR(total, 4.0, 0.05);
+}
+
+TEST(StationStats, UtilizationMatchesProductFormSteadyState) {
+  // Long exponential run: time-averaged utilizations approach the closed
+  // Jackson network's values.
+  cluster::ApplicationModel app;
+  const net::NetworkSpec spec = cluster::central_cluster(5, app);
+  const pf::ClosedNetworkResult expected = pf::convolution(spec, 5);
+
+  const sim::NetworkSimulator simulator(spec, 5);
+  sim::SimulationOptions opts;
+  opts.replications = 60;
+  const sim::SimulationResult r = simulator.run(600, opts);
+  for (std::size_t j = 0; j < spec.num_stations(); ++j) {
+    EXPECT_NEAR(r.utilization[j].mean(), expected.utilization[j],
+                0.04 + 5.0 * r.utilization[j].std_error())
+        << spec.station(j).name;
+  }
+}
+
+TEST(StationStats, BottleneckIdentifiable) {
+  // Crank the remote share until the central disk dominates: its measured
+  // utilization must be the highest of the shared devices.
+  cluster::ApplicationModel app;
+  app.remote_time = 2.6;
+  app.local_time = 12.0 - 1.25 * app.remote_time;
+  const net::NetworkSpec spec = cluster::central_cluster(5, app);
+  const sim::NetworkSimulator simulator(spec, 5);
+  sim::SimulationOptions opts;
+  opts.replications = 40;
+  const sim::SimulationResult r = simulator.run(300, opts);
+  EXPECT_GT(r.utilization[3].mean(), r.utilization[2].mean());  // disk > comm
+  EXPECT_GT(r.utilization[3].mean(), 0.8);
+}

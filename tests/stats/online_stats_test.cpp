@@ -1,0 +1,115 @@
+// Tests for the Welford accumulator and confidence intervals.
+
+#include "stats/online_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace stats = finwork::stats;
+
+TEST(OnlineStats, EmptyState) {
+  stats::OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci_half_width(), 0.0);
+}
+
+TEST(OnlineStats, SingleSample) {
+  stats::OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownMeanAndVariance) {
+  stats::OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, NumericallyStableWithLargeOffset) {
+  stats::OnlineStats s;
+  const double offset = 1e12;
+  for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) s.add(x);
+  EXPECT_NEAR(s.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-3);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  std::mt19937 gen(5);
+  std::normal_distribution<double> dist(3.0, 2.0);
+  stats::OnlineStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = dist(gen);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  stats::OnlineStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(OnlineStats, StdErrorShrinksWithSamples) {
+  stats::OnlineStats small, big;
+  std::mt19937 gen(9);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  for (int i = 0; i < 10; ++i) small.add(dist(gen));
+  for (int i = 0; i < 1000; ++i) big.add(dist(gen));
+  EXPECT_GT(small.std_error(), big.std_error());
+}
+
+TEST(OnlineStats, CiWidensWithConfidence) {
+  stats::OnlineStats s;
+  std::mt19937 gen(11);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  for (int i = 0; i < 50; ++i) s.add(dist(gen));
+  EXPECT_LT(s.ci_half_width(0.90), s.ci_half_width(0.95));
+  EXPECT_LT(s.ci_half_width(0.95), s.ci_half_width(0.99));
+}
+
+TEST(OnlineStats, CiCoversTrueMeanUsually) {
+  // 200 experiments of 30 normal samples each; the 95% CI should cover the
+  // true mean in roughly 190 of them.  Allow generous slack.
+  std::mt19937 gen(13);
+  std::normal_distribution<double> dist(10.0, 4.0);
+  int covered = 0;
+  for (int e = 0; e < 200; ++e) {
+    stats::OnlineStats s;
+    for (int i = 0; i < 30; ++i) s.add(dist(gen));
+    if (std::abs(s.mean() - 10.0) <= s.ci_half_width(0.95)) ++covered;
+  }
+  EXPECT_GE(covered, 175);
+  EXPECT_LE(covered, 200);
+}
+
+TEST(SquaredCv, KnownValues) {
+  // Exponential: E[X] = m, E[X^2] = 2 m^2 -> C^2 = 1.
+  EXPECT_DOUBLE_EQ(stats::squared_cv(2.0, 8.0), 1.0);
+  // Deterministic: E[X^2] = m^2 -> C^2 = 0.
+  EXPECT_DOUBLE_EQ(stats::squared_cv(3.0, 9.0), 0.0);
+  // Zero mean guard.
+  EXPECT_DOUBLE_EQ(stats::squared_cv(0.0, 1.0), 0.0);
+}
