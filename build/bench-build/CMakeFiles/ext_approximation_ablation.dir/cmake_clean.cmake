@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_approximation_ablation"
+  "../bench/ext_approximation_ablation.pdb"
+  "CMakeFiles/ext_approximation_ablation.dir/figures/ext_approximation_ablation.cpp.o"
+  "CMakeFiles/ext_approximation_ablation.dir/figures/ext_approximation_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_approximation_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_departure_process"
+  "../bench/ext_departure_process.pdb"
+  "CMakeFiles/ext_departure_process.dir/figures/ext_departure_process.cpp.o"
+  "CMakeFiles/ext_departure_process.dir/figures/ext_departure_process.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_departure_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

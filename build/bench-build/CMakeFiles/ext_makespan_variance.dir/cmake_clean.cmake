@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_makespan_variance"
+  "../bench/ext_makespan_variance.pdb"
+  "CMakeFiles/ext_makespan_variance.dir/figures/ext_makespan_variance.cpp.o"
+  "CMakeFiles/ext_makespan_variance.dir/figures/ext_makespan_variance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_makespan_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

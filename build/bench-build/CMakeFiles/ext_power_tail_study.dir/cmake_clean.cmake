@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_power_tail_study"
+  "../bench/ext_power_tail_study.pdb"
+  "CMakeFiles/ext_power_tail_study.dir/figures/ext_power_tail_study.cpp.o"
+  "CMakeFiles/ext_power_tail_study.dir/figures/ext_power_tail_study.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_power_tail_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_power_tail_study.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_interdeparture_central_k5"
+  "../bench/fig03_interdeparture_central_k5.pdb"
+  "CMakeFiles/fig03_interdeparture_central_k5.dir/figures/fig03_interdeparture_central_k5.cpp.o"
+  "CMakeFiles/fig03_interdeparture_central_k5.dir/figures/fig03_interdeparture_central_k5.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_interdeparture_central_k5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

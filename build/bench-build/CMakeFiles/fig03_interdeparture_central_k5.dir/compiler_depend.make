@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_interdeparture_central_k5.
+# This may be replaced when dependencies are built.

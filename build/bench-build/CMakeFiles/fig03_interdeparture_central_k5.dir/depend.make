@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_interdeparture_central_k5.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_interdeparture_central_k8"
+  "../bench/fig04_interdeparture_central_k8.pdb"
+  "CMakeFiles/fig04_interdeparture_central_k8.dir/figures/fig04_interdeparture_central_k8.cpp.o"
+  "CMakeFiles/fig04_interdeparture_central_k8.dir/figures/fig04_interdeparture_central_k8.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_interdeparture_central_k8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

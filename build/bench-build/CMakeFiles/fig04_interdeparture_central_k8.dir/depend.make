@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_interdeparture_central_k8.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_steady_state_vs_c2"
+  "../bench/fig05_steady_state_vs_c2.pdb"
+  "CMakeFiles/fig05_steady_state_vs_c2.dir/figures/fig05_steady_state_vs_c2.cpp.o"
+  "CMakeFiles/fig05_steady_state_vs_c2.dir/figures/fig05_steady_state_vs_c2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_steady_state_vs_c2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

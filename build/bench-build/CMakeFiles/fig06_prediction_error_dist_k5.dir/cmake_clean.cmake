@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_prediction_error_dist_k5"
+  "../bench/fig06_prediction_error_dist_k5.pdb"
+  "CMakeFiles/fig06_prediction_error_dist_k5.dir/figures/fig06_prediction_error_dist_k5.cpp.o"
+  "CMakeFiles/fig06_prediction_error_dist_k5.dir/figures/fig06_prediction_error_dist_k5.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_prediction_error_dist_k5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

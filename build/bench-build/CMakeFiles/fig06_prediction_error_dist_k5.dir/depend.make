@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_prediction_error_dist_k5.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_prediction_error_central_k8.
+# This may be replaced when dependencies are built.

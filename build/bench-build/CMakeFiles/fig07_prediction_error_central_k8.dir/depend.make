@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_prediction_error_central_k8.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_speedup_vs_c2_k5"
+  "../bench/fig08_speedup_vs_c2_k5.pdb"
+  "CMakeFiles/fig08_speedup_vs_c2_k5.dir/figures/fig08_speedup_vs_c2_k5.cpp.o"
+  "CMakeFiles/fig08_speedup_vs_c2_k5.dir/figures/fig08_speedup_vs_c2_k5.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_speedup_vs_c2_k5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

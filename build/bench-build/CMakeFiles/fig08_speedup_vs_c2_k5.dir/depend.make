@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_speedup_vs_c2_k5.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_speedup_vs_c2_k8"
+  "../bench/fig09_speedup_vs_c2_k8.pdb"
+  "CMakeFiles/fig09_speedup_vs_c2_k8.dir/figures/fig09_speedup_vs_c2_k8.cpp.o"
+  "CMakeFiles/fig09_speedup_vs_c2_k8.dir/figures/fig09_speedup_vs_c2_k8.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_speedup_vs_c2_k8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

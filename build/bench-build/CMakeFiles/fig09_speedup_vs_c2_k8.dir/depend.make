@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_speedup_vs_c2_k8.
+# This may be replaced when dependencies are built.

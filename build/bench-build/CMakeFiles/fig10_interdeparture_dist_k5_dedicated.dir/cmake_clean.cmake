@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_interdeparture_dist_k5_dedicated"
+  "../bench/fig10_interdeparture_dist_k5_dedicated.pdb"
+  "CMakeFiles/fig10_interdeparture_dist_k5_dedicated.dir/figures/fig10_interdeparture_dist_k5_dedicated.cpp.o"
+  "CMakeFiles/fig10_interdeparture_dist_k5_dedicated.dir/figures/fig10_interdeparture_dist_k5_dedicated.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_interdeparture_dist_k5_dedicated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

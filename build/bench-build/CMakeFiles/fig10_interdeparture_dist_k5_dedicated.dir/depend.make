@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_interdeparture_dist_k5_dedicated.
+# This may be replaced when dependencies are built.

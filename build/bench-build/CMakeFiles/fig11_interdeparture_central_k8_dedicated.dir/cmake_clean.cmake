@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_interdeparture_central_k8_dedicated"
+  "../bench/fig11_interdeparture_central_k8_dedicated.pdb"
+  "CMakeFiles/fig11_interdeparture_central_k8_dedicated.dir/figures/fig11_interdeparture_central_k8_dedicated.cpp.o"
+  "CMakeFiles/fig11_interdeparture_central_k8_dedicated.dir/figures/fig11_interdeparture_central_k8_dedicated.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_interdeparture_central_k8_dedicated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

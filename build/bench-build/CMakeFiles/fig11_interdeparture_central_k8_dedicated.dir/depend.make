@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_interdeparture_central_k8_dedicated.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_prediction_error_bars_k5"
+  "../bench/fig12_prediction_error_bars_k5.pdb"
+  "CMakeFiles/fig12_prediction_error_bars_k5.dir/figures/fig12_prediction_error_bars_k5.cpp.o"
+  "CMakeFiles/fig12_prediction_error_bars_k5.dir/figures/fig12_prediction_error_bars_k5.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_prediction_error_bars_k5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig12_prediction_error_bars_k5.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_prediction_error_bars_k8"
+  "../bench/fig13_prediction_error_bars_k8.pdb"
+  "CMakeFiles/fig13_prediction_error_bars_k8.dir/figures/fig13_prediction_error_bars_k8.cpp.o"
+  "CMakeFiles/fig13_prediction_error_bars_k8.dir/figures/fig13_prediction_error_bars_k8.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_prediction_error_bars_k8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

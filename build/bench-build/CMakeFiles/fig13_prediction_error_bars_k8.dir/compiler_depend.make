@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_prediction_error_bars_k8.
+# This may be replaced when dependencies are built.

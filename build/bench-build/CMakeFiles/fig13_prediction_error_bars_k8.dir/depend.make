@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_prediction_error_bars_k8.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_speedup_vs_k_exponential"
+  "../bench/fig14_speedup_vs_k_exponential.pdb"
+  "CMakeFiles/fig14_speedup_vs_k_exponential.dir/figures/fig14_speedup_vs_k_exponential.cpp.o"
+  "CMakeFiles/fig14_speedup_vs_k_exponential.dir/figures/fig14_speedup_vs_k_exponential.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_speedup_vs_k_exponential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_speedup_vs_k_distribution"
+  "../bench/fig15_speedup_vs_k_distribution.pdb"
+  "CMakeFiles/fig15_speedup_vs_k_distribution.dir/figures/fig15_speedup_vs_k_distribution.cpp.o"
+  "CMakeFiles/fig15_speedup_vs_k_distribution.dir/figures/fig15_speedup_vs_k_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_speedup_vs_k_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

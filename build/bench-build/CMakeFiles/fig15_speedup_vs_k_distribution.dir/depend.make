@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_speedup_vs_k_distribution.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_pf_crosscheck"
+  "../bench/fig_pf_crosscheck.pdb"
+  "CMakeFiles/fig_pf_crosscheck.dir/figures/fig_pf_crosscheck.cpp.o"
+  "CMakeFiles/fig_pf_crosscheck.dir/figures/fig_pf_crosscheck.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_pf_crosscheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_sim_crosscheck"
+  "../bench/fig_sim_crosscheck.pdb"
+  "CMakeFiles/fig_sim_crosscheck.dir/figures/fig_sim_crosscheck.cpp.o"
+  "CMakeFiles/fig_sim_crosscheck.dir/figures/fig_sim_crosscheck.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_sim_crosscheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_kernels"
+  "../bench/perf_kernels.pdb"
+  "CMakeFiles/perf_kernels.dir/perf/perf_kernels.cpp.o"
+  "CMakeFiles/perf_kernels.dir/perf/perf_kernels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_solver_scaling"
+  "../bench/perf_solver_scaling.pdb"
+  "CMakeFiles/perf_solver_scaling.dir/perf/perf_solver_scaling.cpp.o"
+  "CMakeFiles/perf_solver_scaling.dir/perf/perf_solver_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_solver_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/data_allocation"
+  "../examples/data_allocation.pdb"
+  "CMakeFiles/data_allocation.dir/data_allocation.cpp.o"
+  "CMakeFiles/data_allocation.dir/data_allocation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/deadline_planning"
+  "../examples/deadline_planning.pdb"
+  "CMakeFiles/deadline_planning.dir/deadline_planning.cpp.o"
+  "CMakeFiles/deadline_planning.dir/deadline_planning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

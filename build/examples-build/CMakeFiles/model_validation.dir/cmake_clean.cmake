@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/model_validation"
+  "../examples/model_validation.pdb"
+  "CMakeFiles/model_validation.dir/model_validation.cpp.o"
+  "CMakeFiles/model_validation.dir/model_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finwork_cluster.dir/app_model.cpp.o"
+  "CMakeFiles/finwork_cluster.dir/app_model.cpp.o.d"
+  "CMakeFiles/finwork_cluster.dir/builders.cpp.o"
+  "CMakeFiles/finwork_cluster.dir/builders.cpp.o.d"
+  "CMakeFiles/finwork_cluster.dir/config.cpp.o"
+  "CMakeFiles/finwork_cluster.dir/config.cpp.o.d"
+  "CMakeFiles/finwork_cluster.dir/experiments.cpp.o"
+  "CMakeFiles/finwork_cluster.dir/experiments.cpp.o.d"
+  "libfinwork_cluster.a"
+  "libfinwork_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finwork_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/approximation.cpp" "src/core/CMakeFiles/finwork_core.dir/approximation.cpp.o" "gcc" "src/core/CMakeFiles/finwork_core.dir/approximation.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/finwork_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/finwork_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/transient_solver.cpp" "src/core/CMakeFiles/finwork_core.dir/transient_solver.cpp.o" "gcc" "src/core/CMakeFiles/finwork_core.dir/transient_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/finwork_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/finwork_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/pf/CMakeFiles/finwork_pf.dir/DependInfo.cmake"
+  "/root/repo/build/src/ph/CMakeFiles/finwork_ph.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/finwork_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

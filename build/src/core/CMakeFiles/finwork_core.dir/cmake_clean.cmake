@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finwork_core.dir/approximation.cpp.o"
+  "CMakeFiles/finwork_core.dir/approximation.cpp.o.d"
+  "CMakeFiles/finwork_core.dir/metrics.cpp.o"
+  "CMakeFiles/finwork_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/finwork_core.dir/transient_solver.cpp.o"
+  "CMakeFiles/finwork_core.dir/transient_solver.cpp.o.d"
+  "libfinwork_core.a"
+  "libfinwork_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finwork_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finwork_io.dir/json.cpp.o"
+  "CMakeFiles/finwork_io.dir/json.cpp.o.d"
+  "CMakeFiles/finwork_io.dir/table.cpp.o"
+  "CMakeFiles/finwork_io.dir/table.cpp.o.d"
+  "libfinwork_io.a"
+  "libfinwork_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finwork_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

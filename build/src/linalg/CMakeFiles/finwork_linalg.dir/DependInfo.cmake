@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/expm.cpp" "src/linalg/CMakeFiles/finwork_linalg.dir/expm.cpp.o" "gcc" "src/linalg/CMakeFiles/finwork_linalg.dir/expm.cpp.o.d"
+  "/root/repo/src/linalg/iterative.cpp" "src/linalg/CMakeFiles/finwork_linalg.dir/iterative.cpp.o" "gcc" "src/linalg/CMakeFiles/finwork_linalg.dir/iterative.cpp.o.d"
+  "/root/repo/src/linalg/kron.cpp" "src/linalg/CMakeFiles/finwork_linalg.dir/kron.cpp.o" "gcc" "src/linalg/CMakeFiles/finwork_linalg.dir/kron.cpp.o.d"
+  "/root/repo/src/linalg/lu.cpp" "src/linalg/CMakeFiles/finwork_linalg.dir/lu.cpp.o" "gcc" "src/linalg/CMakeFiles/finwork_linalg.dir/lu.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/linalg/CMakeFiles/finwork_linalg.dir/matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/finwork_linalg.dir/matrix.cpp.o.d"
+  "/root/repo/src/linalg/parallel_blas.cpp" "src/linalg/CMakeFiles/finwork_linalg.dir/parallel_blas.cpp.o" "gcc" "src/linalg/CMakeFiles/finwork_linalg.dir/parallel_blas.cpp.o.d"
+  "/root/repo/src/linalg/sparse.cpp" "src/linalg/CMakeFiles/finwork_linalg.dir/sparse.cpp.o" "gcc" "src/linalg/CMakeFiles/finwork_linalg.dir/sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/finwork_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finwork_linalg.dir/expm.cpp.o"
+  "CMakeFiles/finwork_linalg.dir/expm.cpp.o.d"
+  "CMakeFiles/finwork_linalg.dir/iterative.cpp.o"
+  "CMakeFiles/finwork_linalg.dir/iterative.cpp.o.d"
+  "CMakeFiles/finwork_linalg.dir/kron.cpp.o"
+  "CMakeFiles/finwork_linalg.dir/kron.cpp.o.d"
+  "CMakeFiles/finwork_linalg.dir/lu.cpp.o"
+  "CMakeFiles/finwork_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/finwork_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/finwork_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/finwork_linalg.dir/parallel_blas.cpp.o"
+  "CMakeFiles/finwork_linalg.dir/parallel_blas.cpp.o.d"
+  "CMakeFiles/finwork_linalg.dir/sparse.cpp.o"
+  "CMakeFiles/finwork_linalg.dir/sparse.cpp.o.d"
+  "libfinwork_linalg.a"
+  "libfinwork_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finwork_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfinwork_linalg.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/network/network_spec.cpp" "src/network/CMakeFiles/finwork_network.dir/network_spec.cpp.o" "gcc" "src/network/CMakeFiles/finwork_network.dir/network_spec.cpp.o.d"
+  "/root/repo/src/network/state_space.cpp" "src/network/CMakeFiles/finwork_network.dir/state_space.cpp.o" "gcc" "src/network/CMakeFiles/finwork_network.dir/state_space.cpp.o.d"
+  "/root/repo/src/network/station.cpp" "src/network/CMakeFiles/finwork_network.dir/station.cpp.o" "gcc" "src/network/CMakeFiles/finwork_network.dir/station.cpp.o.d"
+  "/root/repo/src/network/tagged_reference.cpp" "src/network/CMakeFiles/finwork_network.dir/tagged_reference.cpp.o" "gcc" "src/network/CMakeFiles/finwork_network.dir/tagged_reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/finwork_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ph/CMakeFiles/finwork_ph.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/finwork_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

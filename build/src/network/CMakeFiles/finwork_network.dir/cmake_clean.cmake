@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finwork_network.dir/network_spec.cpp.o"
+  "CMakeFiles/finwork_network.dir/network_spec.cpp.o.d"
+  "CMakeFiles/finwork_network.dir/state_space.cpp.o"
+  "CMakeFiles/finwork_network.dir/state_space.cpp.o.d"
+  "CMakeFiles/finwork_network.dir/station.cpp.o"
+  "CMakeFiles/finwork_network.dir/station.cpp.o.d"
+  "CMakeFiles/finwork_network.dir/tagged_reference.cpp.o"
+  "CMakeFiles/finwork_network.dir/tagged_reference.cpp.o.d"
+  "libfinwork_network.a"
+  "libfinwork_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finwork_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finwork_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/finwork_parallel.dir/thread_pool.cpp.o.d"
+  "libfinwork_parallel.a"
+  "libfinwork_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finwork_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfinwork_parallel.a"
+)

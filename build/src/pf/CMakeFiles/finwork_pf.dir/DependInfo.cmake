@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pf/order_statistics.cpp" "src/pf/CMakeFiles/finwork_pf.dir/order_statistics.cpp.o" "gcc" "src/pf/CMakeFiles/finwork_pf.dir/order_statistics.cpp.o.d"
+  "/root/repo/src/pf/product_form.cpp" "src/pf/CMakeFiles/finwork_pf.dir/product_form.cpp.o" "gcc" "src/pf/CMakeFiles/finwork_pf.dir/product_form.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/finwork_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/finwork_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/ph/CMakeFiles/finwork_ph.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/finwork_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finwork_pf.dir/order_statistics.cpp.o"
+  "CMakeFiles/finwork_pf.dir/order_statistics.cpp.o.d"
+  "CMakeFiles/finwork_pf.dir/product_form.cpp.o"
+  "CMakeFiles/finwork_pf.dir/product_form.cpp.o.d"
+  "libfinwork_pf.a"
+  "libfinwork_pf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finwork_pf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

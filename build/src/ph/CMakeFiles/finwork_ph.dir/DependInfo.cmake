@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ph/algebra.cpp" "src/ph/CMakeFiles/finwork_ph.dir/algebra.cpp.o" "gcc" "src/ph/CMakeFiles/finwork_ph.dir/algebra.cpp.o.d"
+  "/root/repo/src/ph/fitting.cpp" "src/ph/CMakeFiles/finwork_ph.dir/fitting.cpp.o" "gcc" "src/ph/CMakeFiles/finwork_ph.dir/fitting.cpp.o.d"
+  "/root/repo/src/ph/phase_type.cpp" "src/ph/CMakeFiles/finwork_ph.dir/phase_type.cpp.o" "gcc" "src/ph/CMakeFiles/finwork_ph.dir/phase_type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/finwork_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/finwork_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

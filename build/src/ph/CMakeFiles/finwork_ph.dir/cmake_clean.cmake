@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finwork_ph.dir/algebra.cpp.o"
+  "CMakeFiles/finwork_ph.dir/algebra.cpp.o.d"
+  "CMakeFiles/finwork_ph.dir/fitting.cpp.o"
+  "CMakeFiles/finwork_ph.dir/fitting.cpp.o.d"
+  "CMakeFiles/finwork_ph.dir/phase_type.cpp.o"
+  "CMakeFiles/finwork_ph.dir/phase_type.cpp.o.d"
+  "libfinwork_ph.a"
+  "libfinwork_ph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finwork_ph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finwork_sim.dir/simulator.cpp.o"
+  "CMakeFiles/finwork_sim.dir/simulator.cpp.o.d"
+  "libfinwork_sim.a"
+  "libfinwork_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finwork_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

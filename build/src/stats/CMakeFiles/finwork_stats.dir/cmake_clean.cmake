@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finwork_stats.dir/online_stats.cpp.o"
+  "CMakeFiles/finwork_stats.dir/online_stats.cpp.o.d"
+  "libfinwork_stats.a"
+  "libfinwork_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finwork_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

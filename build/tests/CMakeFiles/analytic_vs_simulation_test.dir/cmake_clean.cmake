@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytic_vs_simulation_test.dir/integration/analytic_vs_simulation_test.cpp.o"
+  "CMakeFiles/analytic_vs_simulation_test.dir/integration/analytic_vs_simulation_test.cpp.o.d"
+  "analytic_vs_simulation_test"
+  "analytic_vs_simulation_test.pdb"
+  "analytic_vs_simulation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytic_vs_simulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

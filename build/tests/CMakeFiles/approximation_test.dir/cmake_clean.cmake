@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximation_test.dir/core/approximation_test.cpp.o"
+  "CMakeFiles/approximation_test.dir/core/approximation_test.cpp.o.d"
+  "approximation_test"
+  "approximation_test.pdb"
+  "approximation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

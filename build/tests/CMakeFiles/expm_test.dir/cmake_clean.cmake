@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expm_test.dir/linalg/expm_test.cpp.o"
+  "CMakeFiles/expm_test.dir/linalg/expm_test.cpp.o.d"
+  "expm_test"
+  "expm_test.pdb"
+  "expm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterative_test.dir/linalg/iterative_test.cpp.o"
+  "CMakeFiles/iterative_test.dir/linalg/iterative_test.cpp.o.d"
+  "iterative_test"
+  "iterative_test.pdb"
+  "iterative_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kron_test.dir/linalg/kron_test.cpp.o"
+  "CMakeFiles/kron_test.dir/linalg/kron_test.cpp.o.d"
+  "kron_test"
+  "kron_test.pdb"
+  "kron_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kron_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

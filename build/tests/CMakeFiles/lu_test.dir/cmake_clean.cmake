@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lu_test.dir/linalg/lu_test.cpp.o"
+  "CMakeFiles/lu_test.dir/linalg/lu_test.cpp.o.d"
+  "lu_test"
+  "lu_test.pdb"
+  "lu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_spec_test.dir/network/network_spec_test.cpp.o"
+  "CMakeFiles/network_spec_test.dir/network/network_spec_test.cpp.o.d"
+  "network_spec_test"
+  "network_spec_test.pdb"
+  "network_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

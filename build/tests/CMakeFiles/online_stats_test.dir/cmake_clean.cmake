@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_stats_test.dir/stats/online_stats_test.cpp.o"
+  "CMakeFiles/online_stats_test.dir/stats/online_stats_test.cpp.o.d"
+  "online_stats_test"
+  "online_stats_test.pdb"
+  "online_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

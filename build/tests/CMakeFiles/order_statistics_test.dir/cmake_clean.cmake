@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_statistics_test.dir/pf/order_statistics_test.cpp.o"
+  "CMakeFiles/order_statistics_test.dir/pf/order_statistics_test.cpp.o.d"
+  "order_statistics_test"
+  "order_statistics_test.pdb"
+  "order_statistics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_statistics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/paper_shapes_test.cpp" "tests/CMakeFiles/paper_shapes_test.dir/integration/paper_shapes_test.cpp.o" "gcc" "tests/CMakeFiles/paper_shapes_test.dir/integration/paper_shapes_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/finwork_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/finwork_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/finwork_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/finwork_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/finwork_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pf/CMakeFiles/finwork_pf.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/finwork_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/ph/CMakeFiles/finwork_ph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/finwork_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/finwork_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

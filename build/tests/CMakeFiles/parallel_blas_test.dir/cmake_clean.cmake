@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_blas_test.dir/linalg/parallel_blas_test.cpp.o"
+  "CMakeFiles/parallel_blas_test.dir/linalg/parallel_blas_test.cpp.o.d"
+  "parallel_blas_test"
+  "parallel_blas_test.pdb"
+  "parallel_blas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_blas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

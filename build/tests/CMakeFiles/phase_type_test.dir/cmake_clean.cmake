@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_type_test.dir/ph/phase_type_test.cpp.o"
+  "CMakeFiles/phase_type_test.dir/ph/phase_type_test.cpp.o.d"
+  "phase_type_test"
+  "phase_type_test.pdb"
+  "phase_type_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_type_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_form_crosscheck_test.dir/integration/product_form_crosscheck_test.cpp.o"
+  "CMakeFiles/product_form_crosscheck_test.dir/integration/product_form_crosscheck_test.cpp.o.d"
+  "product_form_crosscheck_test"
+  "product_form_crosscheck_test.pdb"
+  "product_form_crosscheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_form_crosscheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

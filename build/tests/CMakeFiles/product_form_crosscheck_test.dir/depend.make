@@ -1,0 +1,2 @@
+# Empty dependencies file for product_form_crosscheck_test.
+# This may be replaced when dependencies are built.

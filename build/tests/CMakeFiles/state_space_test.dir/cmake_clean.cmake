@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_space_test.dir/network/state_space_test.cpp.o"
+  "CMakeFiles/state_space_test.dir/network/state_space_test.cpp.o.d"
+  "state_space_test"
+  "state_space_test.pdb"
+  "state_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

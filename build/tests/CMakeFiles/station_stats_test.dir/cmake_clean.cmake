@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/station_stats_test.dir/sim/station_stats_test.cpp.o"
+  "CMakeFiles/station_stats_test.dir/sim/station_stats_test.cpp.o.d"
+  "station_stats_test"
+  "station_stats_test.pdb"
+  "station_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/station_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/station_test.dir/network/station_test.cpp.o"
+  "CMakeFiles/station_test.dir/network/station_test.cpp.o.d"
+  "station_test"
+  "station_test.pdb"
+  "station_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/station_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagged_reference_test.dir/network/tagged_reference_test.cpp.o"
+  "CMakeFiles/tagged_reference_test.dir/network/tagged_reference_test.cpp.o.d"
+  "tagged_reference_test"
+  "tagged_reference_test.pdb"
+  "tagged_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagged_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transient_solver_test.dir/core/transient_solver_test.cpp.o"
+  "CMakeFiles/transient_solver_test.dir/core/transient_solver_test.cpp.o.d"
+  "transient_solver_test"
+  "transient_solver_test.pdb"
+  "transient_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transient_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

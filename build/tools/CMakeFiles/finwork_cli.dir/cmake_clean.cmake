@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finwork_cli.dir/finwork_cli.cpp.o"
+  "CMakeFiles/finwork_cli.dir/finwork_cli.cpp.o.d"
+  "finwork_cli"
+  "finwork_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finwork_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
