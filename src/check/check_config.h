@@ -1,0 +1,19 @@
+#pragma once
+// Compile-time switch for the runtime invariant checker.
+//
+// The checker functions in check/invariants.h are always compiled and
+// callable (tests exercise them directly), but the *call sites* in solver
+// hot paths are guarded by `if constexpr (finwork::check::kEnabled)` so a
+// release build pays nothing for them.  The CMake option
+// FINWORK_CHECK_INVARIANTS (default ON for Debug builds) defines the macro
+// below on every target that links finwork_check.
+
+namespace finwork::check {
+
+#if defined(FINWORK_CHECK_INVARIANTS) && FINWORK_CHECK_INVARIANTS
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+}  // namespace finwork::check

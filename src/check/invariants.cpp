@@ -1,0 +1,175 @@
+#include "check/invariants.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace finwork::check {
+
+namespace {
+
+std::string format_message(std::string_view invariant, std::string_view object,
+                           std::size_t level, std::size_t row,
+                           const std::string& detail) {
+  std::ostringstream ss;
+  ss << "invariant violation [" << invariant << "] in " << object;
+  if (level != kNoLevel) ss << " at population level " << level;
+  if (row != kNoLevel) ss << ", row " << row;
+  ss << ": " << detail;
+  return ss.str();
+}
+
+[[noreturn]] void fail(std::string_view invariant, std::string_view object,
+                       std::size_t level, std::size_t row,
+                       std::string detail) {
+  throw InvariantViolation(invariant, object, level, row, std::move(detail));
+}
+
+std::string number(double x) {
+  std::ostringstream ss;
+  ss.precision(17);
+  ss << x;
+  return ss.str();
+}
+
+/// Row sums of a CSR matrix with per-entry sign screening; calls `fail` on
+/// the first negative entry.
+la::Vector nonneg_row_sums(const la::CsrMatrix& m, std::string_view invariant,
+                           std::string_view name, std::size_t level) {
+  la::Vector sums(m.rows(), 0.0);
+  const auto& row_ptr = m.row_ptr();
+  const auto& values = m.values();
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t idx = row_ptr[r]; idx < row_ptr[r + 1]; ++idx) {
+      const double v = values[idx];
+      if (!std::isfinite(v)) {
+        fail(invariant, name, level, r, "non-finite entry " + number(v));
+      }
+      if (v < 0.0) {
+        fail(invariant, name, level, r, "negative entry " + number(v));
+      }
+      sums[r] += v;
+    }
+  }
+  return sums;
+}
+
+}  // namespace
+
+InvariantViolation::InvariantViolation(std::string_view invariant,
+                                       std::string_view object,
+                                       std::size_t level, std::size_t row,
+                                       std::string detail)
+    : std::logic_error(
+          format_message(invariant, object, level, row, detail)),
+      invariant_(invariant),
+      object_(object),
+      level_(level),
+      row_(row) {}
+
+void check_finite(const la::Vector& v, std::string_view name,
+                  std::size_t level) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!std::isfinite(v[i])) {
+      fail("finite", name, level, i, "entry is " + number(v[i]));
+    }
+  }
+}
+
+void check_probability_vector(const la::Vector& pi, std::string_view name,
+                              std::size_t level, double tol) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    if (!std::isfinite(pi[i])) {
+      fail("probability-vector", name, level, i,
+           "non-finite entry " + number(pi[i]));
+    }
+    if (pi[i] < -tol) {
+      fail("probability-vector", name, level, i,
+           "negative entry " + number(pi[i]));
+    }
+    sum += pi[i];
+  }
+  if (std::abs(sum - 1.0) > tol) {
+    fail("probability-vector", name, level, kNoLevel,
+         "mass " + number(sum) + " differs from 1 by more than " +
+             number(tol));
+  }
+}
+
+void check_positive_rates(const la::Vector& rates, std::string_view name,
+                          std::size_t level) {
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    if (!std::isfinite(rates[i]) || rates[i] <= 0.0) {
+      fail("positive-rates", name, level, i,
+           "rate " + number(rates[i]) + " is not a positive finite number");
+    }
+  }
+}
+
+void check_substochastic(const la::CsrMatrix& m, std::string_view name,
+                         std::size_t level, double tol) {
+  const la::Vector sums = nonneg_row_sums(m, "substochastic", name, level);
+  for (std::size_t r = 0; r < sums.size(); ++r) {
+    if (sums[r] > 1.0 + tol) {
+      fail("substochastic", name, level, r,
+           "row sum " + number(sums[r]) + " exceeds 1");
+    }
+  }
+}
+
+void check_stochastic(const la::CsrMatrix& m, std::string_view name,
+                      std::size_t level, double tol) {
+  const la::Vector sums = nonneg_row_sums(m, "stochastic", name, level);
+  for (std::size_t r = 0; r < sums.size(); ++r) {
+    if (std::abs(sums[r] - 1.0) > tol) {
+      fail("stochastic", name, level, r,
+           "row sum " + number(sums[r]) + " differs from 1");
+    }
+  }
+}
+
+void check_level_flow(const la::CsrMatrix& p, const la::CsrMatrix& q,
+                      std::size_t level, double tol) {
+  if (p.rows() != q.rows()) {
+    fail("level-flow", "P_k/Q_k", level, kNoLevel,
+         "row-count mismatch: P has " + std::to_string(p.rows()) +
+             " rows, Q has " + std::to_string(q.rows()));
+  }
+  const la::Vector ps = p.row_sums();
+  const la::Vector qs = q.row_sums();
+  for (std::size_t r = 0; r < ps.size(); ++r) {
+    const double total = ps[r] + qs[r];
+    if (!std::isfinite(total) || std::abs(total - 1.0) > tol) {
+      fail("level-flow", "P_k + Q_k", level, r,
+           "P row sum " + number(ps[r]) + " + Q row sum " + number(qs[r]) +
+               " differs from 1");
+    }
+  }
+}
+
+void check_fixed_point(const la::Vector& pi, const la::Vector& pi_next,
+                       std::string_view name, std::size_t level, double tol) {
+  if (pi.size() != pi_next.size()) {
+    fail("fixed-point", name, level, kNoLevel,
+         "size mismatch: " + std::to_string(pi.size()) + " vs " +
+             std::to_string(pi_next.size()));
+  }
+  double worst = 0.0;
+  std::size_t worst_row = kNoLevel;
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    const double r = std::abs(pi_next[i] - pi[i]);
+    if (!std::isfinite(r)) {
+      fail("fixed-point", name, level, i, "non-finite residual");
+    }
+    if (r > worst) {
+      worst = r;
+      worst_row = i;
+    }
+  }
+  if (worst > tol) {
+    fail("fixed-point", name, level, worst_row,
+         "residual " + number(worst) + " exceeds tolerance " + number(tol));
+  }
+}
+
+}  // namespace finwork::check

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/invariants.h"
 #include "linalg/iterative.h"
 
 namespace finwork::core {
@@ -35,6 +36,12 @@ const TransientSolver::Level& TransientSolver::prepared_level(
   for (std::size_t i = 0; i < d; ++i) rhs[i] = 1.0 / lm.event_rates[i];
   lvl.prepared = true;  // set before solve_right so it can use lvl.lu
   lvl.tau = solve_right(k, rhs);
+  if constexpr (check::kEnabled) {
+    // tau'_k = V_k eps: mean remaining epoch time per state — finite and
+    // positive, or the level's (I - P_k) solve went off the rails.
+    check::check_finite(lvl.tau, "tau'_k", k);
+    check::check_positive_rates(lvl.tau, "tau'_k", k);
+  }
   return lvl;
 }
 
@@ -520,6 +527,18 @@ const SteadyStateResult& TransientSolver::steady_state() const {
       apply_t, start, opts_.tolerance, opts_.max_power_iterations);
   SteadyStateResult ss;
   ss.distribution = res.x;
+  if constexpr (check::kEnabled) {
+    if (res.converged) {
+      // The steady-state law: p_ss Y_K R_K = p_ss on the simplex.  The
+      // damped map halves the residual, so allow a small multiple of the
+      // power-iteration tolerance.
+      check::check_probability_vector(ss.distribution, "p_ss", k_,
+                                      1e3 * opts_.tolerance);
+      const la::Vector next = apply_r(k_, apply_y(k_, ss.distribution));
+      check::check_fixed_point(ss.distribution, next, "p_ss Y_K R_K", k_,
+                               1e3 * opts_.tolerance);
+    }
+  }
   ss.interdeparture = mean_epoch_time(k_, ss.distribution);
   ss.throughput = 1.0 / ss.interdeparture;
   const double m2 = epoch_second_moment(k_, ss.distribution);

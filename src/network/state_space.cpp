@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "check/invariants.h"
 #include "parallel/thread_pool.h"
 
 namespace finwork::net {
@@ -246,6 +247,15 @@ void StateSpace::build_level(std::size_t k) const {
   }
   lm.r = la::CsrMatrix(states_km1.size(), states_k.size(), std::move(r_trips));
 
+  // The LAQT recursion assumes these laws; a violation here means the
+  // assembly above is wrong, not the solver downstream.
+  if constexpr (check::kEnabled) {
+    check::check_positive_rates(lm.event_rates, "M_k", k);
+    check::check_substochastic(lm.p, "P_k", k);
+    check::check_level_flow(lm.p, lm.q, k);
+    check::check_stochastic(lm.r, "R_k", k);
+  }
+
   level_matrices_[k] = std::move(lm);
   level_built_[k] = true;
 }
@@ -259,6 +269,9 @@ la::Vector StateSpace::initial_vector(std::size_t k) const {
   la::Vector pi(1, 1.0);
   for (std::size_t j = 1; j <= k; ++j) {
     pi = level(j).r.apply_left(pi);
+  }
+  if constexpr (check::kEnabled) {
+    check::check_probability_vector(pi, "p_k (initial vector)", k);
   }
   return pi;
 }

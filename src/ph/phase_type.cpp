@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/invariants.h"
 #include "linalg/expm.h"
 #include "linalg/lu.h"
 
@@ -56,6 +57,14 @@ PhaseType::PhaseType(la::Vector entry, la::Matrix rate_matrix, std::string name)
       throw std::invalid_argument("PhaseType: internal jump mass exceeds 1");
     }
     exit_probs_[i] = std::max(0.0, 1.0 - row_jump);
+  }
+  if constexpr (check::kEnabled) {
+    // Re-validate the derived embedding: the ad-hoc input screening above
+    // guards user input, these guard the derivation itself.
+    check::check_probability_vector(entry_, "PhaseType entry vector",
+                                    check::kNoLevel, kProbTol);
+    check::check_positive_rates(phase_rates_, "diag(M)");
+    check::check_finite(exit_probs_, "PhaseType exit probabilities");
   }
 }
 

@@ -109,3 +109,77 @@ TEST(ParallelSum, EmptyRangeIsZero) {
   EXPECT_DOUBLE_EQ(
       par::parallel_sum(pool, 3, 3, [](std::size_t) { return 1.0; }), 0.0);
 }
+
+// ---- edge cases ------------------------------------------------------------
+
+TEST(ParallelFor, InvertedRangeIsNoop) {
+  par::ThreadPool pool(2);
+  bool touched = false;
+  par::parallel_for(pool, 9, 3, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelSum, InvertedRangeIsZero) {
+  par::ThreadPool pool(2);
+  EXPECT_DOUBLE_EQ(
+      par::parallel_sum(pool, 9, 3, [](std::size_t) { return 1.0; }), 0.0);
+}
+
+TEST(ThreadPoolSizeOne, SubmitAndLoopsStillWork) {
+  par::ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  auto fut = pool.submit([] { return 7; });
+  EXPECT_EQ(fut.get(), 7);
+
+  std::vector<std::atomic<int>> hits(257);
+  par::parallel_for(pool, 0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+
+  const double got = par::parallel_sum(pool, 0, 1000, [](std::size_t i) {
+    return static_cast<double>(i);
+  });
+  EXPECT_DOUBLE_EQ(got, 1000.0 * 999.0 / 2.0);
+}
+
+TEST(ThreadPoolSizeOne, ExceptionStillPropagates) {
+  par::ThreadPool pool(1);
+  EXPECT_THROW((void)par::parallel_for(pool, 0, 64,
+                                       [](std::size_t i) {
+                                         if (i == 13) {
+                                           throw std::runtime_error("13");
+                                         }
+                                       },
+                                       /*grain=*/4),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, EveryChunkThrowsFirstExceptionWins) {
+  par::ThreadPool pool(4);
+  // Small grain so every chunk raises; the contract is that *one* exception
+  // (the first by chunk order) is rethrown, not a crash or a hang.
+  try {
+    par::parallel_for(pool, 0, 256,
+                      [](std::size_t i) {
+                        throw std::runtime_error(
+                            "chunk " + std::to_string(i / 16));
+                      },
+                      /*grain=*/16);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    // First by chunk order: chunk 0 (futures are drained in submit order).
+    EXPECT_STREQ(e.what(), "chunk 0");
+  }
+  // The pool remains usable afterwards.
+  auto fut = pool.submit([] { return 3; });
+  EXPECT_EQ(fut.get(), 3);
+}
+
+TEST(ParallelSum, EveryChunkThrowsStillRethrows) {
+  par::ThreadPool pool(3);
+  EXPECT_THROW((void)par::parallel_sum(pool, 0, 128,
+                                       [](std::size_t) -> double {
+                                         throw std::runtime_error("all fail");
+                                       },
+                                       /*grain=*/8),
+               std::runtime_error);
+}
