@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "perf_record_main.h"
+
 #include "cluster/experiments.h"
 #include "core/transient_solver.h"
 #include "linalg/expm.h"
@@ -169,5 +171,5 @@ BENCHMARK(BM_BlockedParallelMatmul)->Arg(128)->Arg(384);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+FINWORK_PERF_RECORD_MAIN("kernels")
 

@@ -1,0 +1,84 @@
+#pragma once
+// Shared main() for the perf harnesses: run google-benchmark as usual (the
+// console table still prints), then write a machine-readable finwork perf
+// record so repeated runs are diffable (obs/perf_record.h documents the
+// schema).  The record lands in BENCH_<tool>.json in the working directory
+// unless --perf-out=PATH says otherwise; --perf-out is consumed here and
+// never reaches google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/perf_record.h"
+
+namespace finwork::bench {
+
+/// Console output plus capture of every finished run into PerfEntry rows.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    ConsoleReporter::ReportRuns(report);
+    for (const Run& run : report) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      obs::PerfEntry entry;
+      entry.name = run.benchmark_name();
+      entry.real_seconds = run.real_accumulated_time;
+      entry.iterations = static_cast<std::uint64_t>(run.iterations);
+      entry.metrics["cpu_seconds"] = run.cpu_accumulated_time;
+      for (const auto& [name, counter] : run.counters) {
+        entry.metrics[name] = counter.value;
+      }
+      entries_.push_back(std::move(entry));
+    }
+  }
+
+  std::vector<obs::PerfEntry> take_entries() { return std::move(entries_); }
+
+ private:
+  std::vector<obs::PerfEntry> entries_;
+};
+
+inline int perf_record_main(const char* tool, int argc, char** argv) {
+  std::string out_path = std::string("BENCH_") + tool + ".json";
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--perf-out=", 0) == 0) {
+      out_path = arg.substr(11);
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+
+  obs::PerfRecord record(tool);
+  RecordingReporter reporter;
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks(&reporter);
+  for (obs::PerfEntry& entry : reporter.take_entries()) {
+    record.add_entry(std::move(entry));
+  }
+  record.set_meta("benchmarks_run", std::to_string(ran));
+  benchmark::Shutdown();
+
+  if (!record.write_file(out_path)) {
+    std::cerr << "perf_record: cannot write " << out_path << '\n';
+    return 1;
+  }
+  std::cout << "perf record written to " << out_path << '\n';
+  return 0;
+}
+
+}  // namespace finwork::bench
+
+#define FINWORK_PERF_RECORD_MAIN(tool)                            \
+  int main(int argc, char** argv) {                               \
+    return finwork::bench::perf_record_main(tool, argc, argv);    \
+  }

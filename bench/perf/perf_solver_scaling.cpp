@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "perf_record_main.h"
+
 #include "cluster/experiments.h"
 #include "core/transient_solver.h"
 
@@ -77,4 +79,4 @@ BENCHMARK(BM_IterativeBackend)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+FINWORK_PERF_RECORD_MAIN("solver")

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/counters.h"
+#include "obs/sink.h"
+
 namespace finwork::check {
 
 namespace {
@@ -21,6 +24,11 @@ std::string format_message(std::string_view invariant, std::string_view object,
 [[noreturn]] void fail(std::string_view invariant, std::string_view object,
                        std::size_t level, std::size_t row,
                        std::string detail) {
+  // Violations surface twice: as a structured obs event (machine-readable,
+  // exported with the trace) and as the InvariantViolation the caller sees.
+  obs::counter_add(obs::Counter::kInvariantViolations);
+  obs::emit_event(std::string("invariant-violation/") + std::string(invariant),
+                  std::string(object), level, row, detail);
   throw InvariantViolation(invariant, object, level, row, std::move(detail));
 }
 
@@ -68,6 +76,7 @@ InvariantViolation::InvariantViolation(std::string_view invariant,
 
 void check_finite(const la::Vector& v, std::string_view name,
                   std::size_t level) {
+  obs::counter_add(obs::Counter::kInvariantChecks);
   for (std::size_t i = 0; i < v.size(); ++i) {
     if (!std::isfinite(v[i])) {
       fail("finite", name, level, i, "entry is " + number(v[i]));
@@ -77,6 +86,7 @@ void check_finite(const la::Vector& v, std::string_view name,
 
 void check_probability_vector(const la::Vector& pi, std::string_view name,
                               std::size_t level, double tol) {
+  obs::counter_add(obs::Counter::kInvariantChecks);
   double sum = 0.0;
   for (std::size_t i = 0; i < pi.size(); ++i) {
     if (!std::isfinite(pi[i])) {
@@ -98,6 +108,7 @@ void check_probability_vector(const la::Vector& pi, std::string_view name,
 
 void check_positive_rates(const la::Vector& rates, std::string_view name,
                           std::size_t level) {
+  obs::counter_add(obs::Counter::kInvariantChecks);
   for (std::size_t i = 0; i < rates.size(); ++i) {
     if (!std::isfinite(rates[i]) || rates[i] <= 0.0) {
       fail("positive-rates", name, level, i,
@@ -108,6 +119,7 @@ void check_positive_rates(const la::Vector& rates, std::string_view name,
 
 void check_substochastic(const la::CsrMatrix& m, std::string_view name,
                          std::size_t level, double tol) {
+  obs::counter_add(obs::Counter::kInvariantChecks);
   const la::Vector sums = nonneg_row_sums(m, "substochastic", name, level);
   for (std::size_t r = 0; r < sums.size(); ++r) {
     if (sums[r] > 1.0 + tol) {
@@ -119,6 +131,7 @@ void check_substochastic(const la::CsrMatrix& m, std::string_view name,
 
 void check_stochastic(const la::CsrMatrix& m, std::string_view name,
                       std::size_t level, double tol) {
+  obs::counter_add(obs::Counter::kInvariantChecks);
   const la::Vector sums = nonneg_row_sums(m, "stochastic", name, level);
   for (std::size_t r = 0; r < sums.size(); ++r) {
     if (std::abs(sums[r] - 1.0) > tol) {
@@ -130,6 +143,7 @@ void check_stochastic(const la::CsrMatrix& m, std::string_view name,
 
 void check_level_flow(const la::CsrMatrix& p, const la::CsrMatrix& q,
                       std::size_t level, double tol) {
+  obs::counter_add(obs::Counter::kInvariantChecks);
   if (p.rows() != q.rows()) {
     fail("level-flow", "P_k/Q_k", level, kNoLevel,
          "row-count mismatch: P has " + std::to_string(p.rows()) +
@@ -149,6 +163,7 @@ void check_level_flow(const la::CsrMatrix& p, const la::CsrMatrix& q,
 
 void check_fixed_point(const la::Vector& pi, const la::Vector& pi_next,
                        std::string_view name, std::size_t level, double tol) {
+  obs::counter_add(obs::Counter::kInvariantChecks);
   if (pi.size() != pi_next.size()) {
     fail("fixed-point", name, level, kNoLevel,
          "size mismatch: " + std::to_string(pi.size()) + " vs " +

@@ -6,6 +6,8 @@
 
 #include "check/invariants.h"
 #include "linalg/iterative.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 
 namespace finwork::core {
 
@@ -22,10 +24,15 @@ const TransientSolver::Level& TransientSolver::prepared_level(
     std::size_t k) const {
   if (k == 0 || k > k_) throw std::out_of_range("TransientSolver: bad level");
   Level& lvl = levels_[k];
-  if (lvl.prepared) return lvl;
+  if (lvl.prepared) {
+    obs::counter_add(obs::Counter::kLuReuseHits);
+    return lvl;
+  }
+  const obs::ObsSpan span("solver/prepare_level");
   const net::LevelMatrices& lm = space_.level(k);
   const std::size_t d = space_.dimension(k);
   if (d <= opts_.dense_threshold) {
+    const obs::ObsSpan factor_span("solver/factorize_level");
     la::Matrix a = lm.p.to_dense();
     a *= -1.0;
     for (std::size_t i = 0; i < d; ++i) a(i, i) += 1.0;
@@ -48,7 +55,11 @@ const TransientSolver::Level& TransientSolver::prepared_level(
 la::Vector TransientSolver::solve_left(std::size_t k,
                                        const la::Vector& pi) const {
   const Level& lvl = prepared_level(k);
-  if (lvl.lu) return lvl.lu->solve_left(pi);
+  if (lvl.lu) {
+    obs::counter_add(obs::Counter::kDenseSolves);
+    return lvl.lu->solve_left(pi);
+  }
+  obs::counter_add(obs::Counter::kIterativeSolves);
   const net::LevelMatrices& lm = space_.level(k);
   const auto apply_p = [&lm](const la::Vector& x) { return lm.p.apply_left(x); };
   la::IterativeResult res = la::neumann_solve_left(
@@ -72,7 +83,11 @@ la::Vector TransientSolver::solve_left(std::size_t k,
 la::Vector TransientSolver::solve_right(std::size_t k,
                                         const la::Vector& b) const {
   const Level& lvl = prepared_level(k);
-  if (lvl.lu) return lvl.lu->solve(b);
+  if (lvl.lu) {
+    obs::counter_add(obs::Counter::kDenseSolves);
+    return lvl.lu->solve(b);
+  }
+  obs::counter_add(obs::Counter::kIterativeSolves);
   const net::LevelMatrices& lm = space_.level(k);
   // Column solve: (I - P) x = b via the Neumann series x = sum P^n b.
   la::Vector x = b;
@@ -80,8 +95,13 @@ la::Vector TransientSolver::solve_right(std::size_t k,
   for (std::size_t n = 1; n <= opts_.max_neumann_iterations; ++n) {
     term = lm.p.apply(term);
     x += term;
-    if (term.norm_inf() < opts_.tolerance) return x;
+    if (term.norm_inf() < opts_.tolerance) {
+      obs::counter_add(obs::Counter::kNeumannIterations, n);
+      return x;
+    }
   }
+  obs::counter_add(obs::Counter::kNeumannIterations,
+                   opts_.max_neumann_iterations);
   // Fall back to BiCGSTAB on the transposed system: (I - P)^T y = ... not
   // needed; run BiCGSTAB with the column action expressed as a row action on
   // the transpose.  CSR supports both actions, so wire it directly.
@@ -181,6 +201,7 @@ DepartureTimeline TransientSolver::solve(std::size_t tasks) const {
   if (tasks == 0) {
     throw std::invalid_argument("TransientSolver::solve: need >= 1 task");
   }
+  const obs::ObsSpan span("solver/solve");
   DepartureTimeline tl;
   tl.workstations = k_;
   tl.tasks = tasks;
@@ -195,6 +216,8 @@ DepartureTimeline TransientSolver::solve(std::size_t tasks) const {
   // departure (Y) is followed by a replacement (R).
   const std::size_t saturated_epochs = tasks - top + 1;
   for (std::size_t i = 0; i < saturated_epochs; ++i) {
+    const obs::ObsSpan epoch_span("solver/epoch");
+    obs::counter_add(obs::Counter::kEpochRecursions);
     tl.epoch_times.push_back(mean_epoch_time(top, pi));
     tl.population.push_back(top);
     if (i + 1 < saturated_epochs) {
@@ -205,6 +228,8 @@ DepartureTimeline TransientSolver::solve(std::size_t tasks) const {
   if (top > 1) {
     pi = apply_y(top, pi);
     for (std::size_t k = top - 1; k >= 1; --k) {
+      const obs::ObsSpan epoch_span("solver/epoch");
+      obs::counter_add(obs::Counter::kEpochRecursions);
       tl.epoch_times.push_back(mean_epoch_time(k, pi));
       tl.population.push_back(k);
       if (k > 1) pi = apply_y(k, pi);
@@ -229,6 +254,7 @@ MakespanMoments TransientSolver::makespan_moments(std::size_t tasks) const {
   if (tasks == 0) {
     throw std::invalid_argument("makespan_moments: need >= 1 task");
   }
+  const obs::ObsSpan span("solver/makespan_moments");
   // The whole run is one absorbing chain whose blocks are the saturated
   // segments (level K, one per admission remaining) followed by the
   // draining levels K-1..1.  With B the full service-rate matrix,
@@ -294,6 +320,7 @@ std::vector<double> TransientSolver::makespan_cdf(
     if (t < 0.0) throw std::invalid_argument("makespan_cdf: negative time");
   }
   if (times.empty()) return {};
+  const obs::ObsSpan span("solver/makespan_cdf");
   const std::size_t top = std::min(tasks, k_);
 
   // Layered blocks: saturated segments with j admissions remaining
@@ -488,6 +515,7 @@ TransientSolver::DepartureCorrelation TransientSolver::steady_state_lag1()
 
 const la::Vector& TransientSolver::time_stationary_distribution() const {
   if (time_stationary_) return *time_stationary_;
+  const obs::ObsSpan span("solver/time_stationary");
   // The saturated CTMC has off-diagonal rate matrix M (P + Q R).  With
   // z = pi .* M, stationarity reads z (P + Q R) = z: find z by (damped)
   // power iteration, then unscale by the rates and normalize.
@@ -514,6 +542,7 @@ const la::Vector& TransientSolver::time_stationary_distribution() const {
 
 const SteadyStateResult& TransientSolver::steady_state() const {
   if (steady_) return *steady_;
+  const obs::ObsSpan span("solver/steady_state");
   // Fixed point of T = Y_K R_K, damped to (T + I)/2 to kill any period-2
   // component of the power iteration.
   const auto apply_t = [this](const la::Vector& pi) {

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/counters.h"
+
 namespace finwork::la {
 
 IterativeResult neumann_solve_left(const RowOperator& apply_p, const Vector& b,
@@ -18,10 +20,12 @@ IterativeResult neumann_solve_left(const RowOperator& apply_p, const Vector& b,
     if (t < tol) {
       res.converged = true;
       res.residual = t;
+      obs::counter_add(obs::Counter::kNeumannIterations, res.iterations);
       return res;
     }
   }
   res.residual = term.norm_inf();
+  obs::counter_add(obs::Counter::kNeumannIterations, res.iterations);
   return res;
 }
 
@@ -72,6 +76,7 @@ IterativeResult bicgstab_left(const RowOperator& apply_a, const Vector& b,
       res.iterations = k;
       res.converged = true;
       res.residual = s.norm2() / bnorm;
+      obs::counter_add(obs::Counter::kBicgstabIterations, res.iterations);
       return res;
     }
     const Vector t = apply_a(s);
@@ -87,10 +92,12 @@ IterativeResult bicgstab_left(const RowOperator& apply_a, const Vector& b,
     res.residual = rel;
     if (rel < tol) {
       res.converged = true;
+      obs::counter_add(obs::Counter::kBicgstabIterations, res.iterations);
       return res;
     }
     if (std::abs(omega) < 1e-300) restart();
   }
+  obs::counter_add(obs::Counter::kBicgstabIterations, res.iterations);
   return res;
 }
 
@@ -120,11 +127,13 @@ IterativeResult power_iteration_left(const RowOperator& apply_t,
       res.converged = true;
       res.residual = d;
       res.x = std::move(pi);
+      obs::counter_add(obs::Counter::kPowerIterations, res.iterations);
       return res;
     }
     res.residual = d;
   }
   res.x = std::move(pi);
+  obs::counter_add(obs::Counter::kPowerIterations, res.iterations);
   return res;
 }
 

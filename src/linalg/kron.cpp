@@ -2,9 +2,14 @@
 
 #include <stdexcept>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
+
 namespace finwork::la {
 
 Matrix kron(const Matrix& a, const Matrix& b) {
+  const obs::ObsSpan span("linalg/kron");
+  obs::counter_add(obs::Counter::kKronProducts);
   Matrix k(a.rows() * b.rows(), a.cols() * b.cols(), 0.0);
   for (std::size_t i = 0; i < a.rows(); ++i) {
     for (std::size_t j = 0; j < a.cols(); ++j) {

@@ -4,12 +4,15 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/counters.h"
+
 namespace finwork::la {
 
 LuDecomposition::LuDecomposition(const Matrix& a) : lu_(a) {
   if (!a.square()) {
     throw std::invalid_argument("LuDecomposition: matrix is not square");
   }
+  obs::counter_add(obs::Counter::kLuFactorizations);
   norm_inf_a_ = a.norm_inf();
   const std::size_t n = lu_.rows();
   piv_.resize(n);

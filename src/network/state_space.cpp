@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "check/invariants.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 
 namespace finwork::net {
@@ -22,7 +24,15 @@ StateSpace::StateSpace(const NetworkSpec& spec, std::size_t max_population)
   level_index_.resize(max_pop_ + 1);
   level_matrices_.resize(max_pop_ + 1);
   level_built_.assign(max_pop_ + 1, false);
-  for (std::size_t k = 0; k <= max_pop_; ++k) enumerate_level(k);
+  {
+    const obs::ObsSpan span("state_space/enumerate");
+    for (std::size_t k = 0; k <= max_pop_; ++k) enumerate_level(k);
+  }
+  if constexpr (obs::kEnabled) {
+    std::uint64_t total = 0;
+    for (const auto& states : level_states_) total += states.size();
+    obs::counter_add(obs::Counter::kStatesEnumerated, total);
+  }
 }
 
 void StateSpace::enumerate_level(std::size_t k) {
@@ -107,6 +117,9 @@ const LevelMatrices& StateSpace::level(std::size_t k) const {
 }
 
 void StateSpace::build_level(std::size_t k) const {
+  const obs::ObsSpan span("state_space/build_level");
+  obs::counter_add(obs::Counter::kLevelsBuilt);
+  obs::gauge_raise(obs::Gauge::kMaxLevelDimension, level_states_[k].size());
   const std::size_t s = models_.size();
   const auto& states_k = level_states_[k];
   const auto& index_k = level_index_[k];

@@ -1,0 +1,29 @@
+#pragma once
+// Compile-time switch for the observability layer (span tracing, counters,
+// structured events).
+//
+// Mirrors check/check_config.h: the registry functions in obs/*.cpp are
+// always compiled and callable (tests and the CLI exporters use them
+// directly), but every *recording* call site goes through an inline wrapper
+// or an empty span specialization selected on `kEnabled`, so a build with
+// FINWORK_OBSERVABILITY=OFF pays nothing — no clock reads, no atomic adds,
+// no buffer appends.  The CMake option FINWORK_OBSERVABILITY (default ON)
+// defines the macro below on every target that links finwork_obs.
+//
+// When the macro is absent entirely (a translation unit compiled outside
+// the build system), the layer defaults to enabled.
+
+// Inclusion marker: hot-path headers (parallel/thread_pool.h, ...) must not
+// drag the obs layer in; tests/obs/compile_out_test.cpp checks this stays
+// undefined after including them.
+#define FINWORK_OBS_CONFIG_INCLUDED 1
+
+namespace finwork::obs {
+
+#if !defined(FINWORK_OBSERVABILITY) || FINWORK_OBSERVABILITY
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+}  // namespace finwork::obs

@@ -2,10 +2,18 @@
 
 #include <algorithm>
 #include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/counters.h"
+#include "obs/trace.h"
 
 namespace finwork::par {
 
 ThreadPool::ThreadPool(std::size_t threads) {
+  // Workers may record spans/counters during static teardown; constructing
+  // the obs registries first guarantees they outlive the pool.
+  obs::ensure_initialized();
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -24,9 +32,21 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
+void ThreadPool::enqueue(std::function<void()> fn) {
+  Task task{std::move(fn), 0};
+  if constexpr (obs::kEnabled) task.enqueue_ns = obs::now_ns();
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
+    queue_.push(std::move(task));
+    obs::gauge_raise(obs::Gauge::kMaxQueueDepth, queue_.size());
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -34,7 +54,12 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    if constexpr (obs::kEnabled) {
+      obs::counter_add(obs::Counter::kPoolTasksExecuted);
+      obs::counter_add(obs::Counter::kPoolTaskWaitNs,
+                       obs::now_ns() - task.enqueue_ns);
+    }
+    task.fn();
   }
 }
 

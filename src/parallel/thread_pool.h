@@ -10,6 +10,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -38,15 +39,9 @@ class ThreadPool {
     using R = std::invoke_result_t<F>;
     auto task = std::packaged_task<R()>(std::forward<F>(f));
     std::future<R> fut = task.get_future();
-    {
-      std::lock_guard lock(mutex_);
-      if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
-      queue_.emplace(
-          [t = std::make_shared<std::packaged_task<R()>>(std::move(task))] {
-            (*t)();
-          });
-    }
-    cv_.notify_one();
+    enqueue([t = std::make_shared<std::packaged_task<R()>>(std::move(task))] {
+      (*t)();
+    });
     return fut;
   }
 
@@ -54,10 +49,20 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  /// A queued task plus its enqueue timestamp (obs task-latency counter;
+  /// zero when the observability layer is compiled out).
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;
+  };
+
+  /// Locks, pushes, and notifies; also feeds the obs queue-depth gauge.
+  /// Lives in the .cpp so the header carries no obs dependency.
+  void enqueue(std::function<void()> fn);
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Task> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;

@@ -5,6 +5,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 
 namespace finwork::sim {
@@ -60,6 +62,7 @@ std::vector<double> NetworkSimulator::run_once(
   if (tasks == 0) {
     throw std::invalid_argument("NetworkSimulator: need >= 1 task");
   }
+  obs::counter_add(obs::Counter::kSimReplications);
   const std::size_t s = spec_.num_stations();
 
   // Precompute cumulative rows: entry over stations; routing row j has s
@@ -204,6 +207,7 @@ std::vector<double> NetworkSimulator::run_once(
 
 SimulationResult NetworkSimulator::run(std::size_t tasks,
                                        const SimulationOptions& options) const {
+  const obs::ObsSpan span("sim/run");
   SimulationResult result;
   result.tasks = tasks;
   result.workstations = k_;

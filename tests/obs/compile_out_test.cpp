@@ -1,0 +1,72 @@
+// Compile-out guarantees of the observability layer.
+//
+// This TU forces FINWORK_OBSERVABILITY=0 before including the obs headers
+// (the rest of the test binary, including the linked library, is built with
+// the layer on), so it sees exactly what an OFF build sees: `kEnabled` is
+// false and ObsSpan is the stateless empty specialization.  It also checks
+// that the hot-path headers instrumented by this layer do not include obs
+// headers themselves — the instrumentation lives in .cpp files only.
+
+// Hot headers first, before any obs include: if one of them dragged the
+// obs layer in, the marker below would already be defined.
+#include "core/transient_solver.h"
+#include "linalg/lu.h"
+#include "network/state_space.h"
+#include "parallel/thread_pool.h"
+
+#ifdef FINWORK_OBS_CONFIG_INCLUDED
+#error "a hot-path header includes the obs layer; keep obs out of headers"
+#endif
+
+// Now simulate an OFF build for the obs headers in this TU only.
+#undef FINWORK_OBSERVABILITY
+#define FINWORK_OBSERVABILITY 0
+#include "obs/counters.h"
+#include "obs/sink.h"
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+namespace {
+
+using namespace finwork;
+
+static_assert(!obs::kEnabled,
+              "FINWORK_OBSERVABILITY=0 must disable the layer");
+static_assert(std::is_same_v<obs::ObsSpan, obs::BasicSpan<false>>,
+              "disabled builds must select the empty span");
+static_assert(std::is_empty_v<obs::ObsSpan>,
+              "the disabled span must carry no state");
+static_assert(sizeof(obs::ObsSpan) == 1,
+              "the disabled span must occupy no real storage");
+static_assert(std::is_nothrow_constructible_v<obs::ObsSpan, const char*>,
+              "the disabled span must be nothrow-constructible");
+
+// The recording wrappers must still be declared and callable (they expand
+// to nothing); the read-side API stays fully live so exporters link.
+TEST(ObsCompileOutTest, DisabledSpanRecordsNothing) {
+  obs::trace_reset();
+  {
+    const obs::BasicSpan<false> span("test/disabled");
+    (void)span;
+  }
+  EXPECT_TRUE(obs::trace_snapshot().empty());
+  EXPECT_TRUE(obs::trace_summary().empty());
+}
+
+TEST(ObsCompileOutTest, ReadSideApiStaysLiveWhenDisabled) {
+  obs::counters_reset();
+  obs::events_reset();
+  EXPECT_EQ(obs::counter_value(obs::Counter::kInvariantViolations), 0u);
+  EXPECT_EQ(obs::gauge_value(obs::Gauge::kMaxQueueDepth), 0u);
+  EXPECT_EQ(obs::counters_snapshot().size(),
+            static_cast<std::size_t>(obs::Counter::kCount) +
+                static_cast<std::size_t>(obs::Gauge::kCount));
+  EXPECT_TRUE(obs::events_snapshot().empty());
+  EXPECT_EQ(obs::counter_name(obs::Counter::kLuReuseHits),
+            "solver.lu_reuse_hits");
+}
+
+}  // namespace

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Validate a finwork perf-record JSON file (schema finwork-perf-record/1).
+
+Used by the perf-smoke CI job — and handy locally — to fail fast when a
+benchmark binary emits a malformed or empty record:
+
+  python3 tools/check_perf_record.py BENCH_solver.json
+
+Checks: the file parses, the schema tag matches, metadata fields are
+strings, at least one benchmark entry exists, and every entry carries a
+name, finite non-negative real_seconds, positive iterations, and numeric
+metrics.  Exits 0 when valid, 1 with a diagnostic otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+
+SCHEMA = "finwork-perf-record/1"
+REQUIRED_STRINGS = ("tool", "git_sha", "build_type", "sanitize")
+
+
+def fail(msg: str) -> int:
+    print(f"check_perf_record: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def is_number(v: object) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check(path: str) -> int:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return fail(f"{path}: cannot parse: {exc}")
+
+    if not isinstance(doc, dict):
+        return fail(f"{path}: top level is not an object")
+    if doc.get("schema") != SCHEMA:
+        return fail(f"{path}: schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    for key in REQUIRED_STRINGS:
+        if not isinstance(doc.get(key), str) or not doc[key]:
+            return fail(f"{path}: missing or empty string field {key!r}")
+
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        return fail(f"{path}: 'benchmarks' must be a non-empty array")
+    for i, entry in enumerate(benchmarks):
+        where = f"{path}: benchmarks[{i}]"
+        if not isinstance(entry, dict):
+            return fail(f"{where}: not an object")
+        if not isinstance(entry.get("name"), str) or not entry["name"]:
+            return fail(f"{where}: missing benchmark name")
+        rs = entry.get("real_seconds")
+        if not is_number(rs) or not math.isfinite(rs) or rs < 0:
+            return fail(f"{where}: bad real_seconds {rs!r}")
+        it = entry.get("iterations")
+        if not isinstance(it, int) or isinstance(it, bool) or it <= 0:
+            return fail(f"{where}: bad iterations {it!r}")
+        metrics = entry.get("metrics", {})
+        if not isinstance(metrics, dict):
+            return fail(f"{where}: metrics is not an object")
+        for k, v in metrics.items():
+            if v is not None and not is_number(v):
+                return fail(f"{where}: metric {k!r} is not numeric: {v!r}")
+
+    counters = doc.get("counters")
+    if counters is not None and not isinstance(counters, dict):
+        return fail(f"{path}: 'counters' must be an object when present")
+
+    print(f"check_perf_record: OK: {path} "
+          f"({len(benchmarks)} benchmark entr{'y' if len(benchmarks) == 1 else 'ies'}, "
+          f"tool={doc['tool']}, git_sha={doc['git_sha']})")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_perf_record.py FILE...", file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv:
+        status = max(status, check(path))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(argv=sys.argv[1:]))

@@ -1,8 +1,13 @@
 // finwork_cli — run a transient-model experiment from a JSON config.
 //
 // Usage:
-//   finwork_cli <config.json>
+//   finwork_cli [--trace-out=FILE] [--stats] <config.json>
 //   finwork_cli --example          # print an annotated example config
+//
+// Observability (docs/OBSERVABILITY.md):
+//   --trace-out=FILE   write a Chrome trace-event JSON of the run
+//                      (open in chrome://tracing or ui.perfetto.dev)
+//   --stats            print the span summary and counter registry
 //
 // Outputs (select via the config's "outputs" array; default: summary,
 // timeline, steady_state):
@@ -20,11 +25,14 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "cluster/config.h"
 #include "core/approximation.h"
 #include "core/metrics.h"
 #include "core/transient_solver.h"
+#include "obs/trace.h"
 #include "pf/product_form.h"
 #include "sim/simulator.h"
 
@@ -60,19 +68,56 @@ bool wants(const finwork::cluster::ExperimentSpec& spec,
 
 int main(int argc, char** argv) {
   using namespace finwork;
-  if (argc == 2 && std::string(argv[1]) == "--example") {
-    std::cout << kExample << '\n';
-    return 0;
+  std::string trace_out;
+  bool stats = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--example") {
+      std::cout << kExample << '\n';
+      return 0;
+    }
+    if (arg == "--stats") {
+      stats = true;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << '\n';
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
   }
-  if (argc != 2) {
-    std::cerr << "usage: finwork_cli <config.json> | finwork_cli --example\n";
+  if (positional.size() != 1 || (!trace_out.empty() && trace_out[0] == '-')) {
+    std::cerr << "usage: finwork_cli [--trace-out=FILE] [--stats] "
+                 "<config.json> | finwork_cli --example\n";
     return 2;
   }
+  const std::string& config_path = positional[0];
+
+  // Flush observability output even on early returns / exceptions.
+  struct ObsFlush {
+    const std::string& trace_out;
+    bool stats;
+    ~ObsFlush() {
+      if (!trace_out.empty()) {
+        std::ofstream trace(trace_out);
+        if (trace) {
+          obs::write_chrome_trace(trace);
+        } else {
+          std::cerr << "cannot write trace to " << trace_out << '\n';
+        }
+      }
+      if (stats) obs::write_text_summary(std::cout);
+    }
+  } obs_flush{trace_out, stats};
 
   try {
-    std::ifstream in(argv[1]);
+    std::ifstream in(config_path);
     if (!in) {
-      std::cerr << "cannot open " << argv[1] << '\n';
+      std::cerr << "cannot open " << config_path << '\n';
       return 2;
     }
     std::stringstream buffer;

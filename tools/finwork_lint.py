@@ -9,7 +9,9 @@ bench/ are allowed to print):
   R2  every header under src/ starts with `#pragma once` (first
       non-comment, non-blank line)
   R3  no `std::cout` / `std::cerr` / `printf` in src/ — libraries report
-      through return values and exceptions, not stdout
+      through return values and exceptions, not stdout.  The one exception
+      is src/obs/: it is the designated reporting layer (trace export,
+      perf records, text summaries), so it may talk to streams
   R4  no raw `new` / `delete` in src/ — containers and smart pointers only
 
 Usage:
@@ -102,6 +104,9 @@ def strip_comments_and_strings(text: str) -> str:
 def lint_file(path: Path, repo_root: Path) -> list[str]:
     rel = path.relative_to(repo_root)
     in_src = rel.parts[0] == "src"
+    # src/obs/ is the observability sink — the only src/ code allowed to
+    # address stdout/stderr directly (R3 exception; all other rules apply).
+    in_obs = in_src and len(rel.parts) > 1 and rel.parts[1] == "obs"
     try:
         raw = path.read_text(encoding="utf-8")
     except (OSError, UnicodeDecodeError) as exc:
@@ -115,10 +120,11 @@ def lint_file(path: Path, repo_root: Path) -> list[str]:
             problems.append(
                 f"{rel}:{lineno}: [eigen-include] Eigen must not leak in; "
                 "use the finwork linalg layer")
-        if in_src and STDOUT_RE.search(line):
+        if in_src and not in_obs and STDOUT_RE.search(line):
             problems.append(
                 f"{rel}:{lineno}: [no-stdout] std::cout/std::cerr/printf "
-                "is not allowed in src/ (tools/ and examples/ may print)")
+                "is not allowed in src/ outside src/obs/ (tools/ and "
+                "examples/ may print)")
         if in_src and RAW_NEW_RE.search(line):
             problems.append(
                 f"{rel}:{lineno}: [raw-new] raw `new` in src/; use "
