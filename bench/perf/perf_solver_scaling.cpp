@@ -64,6 +64,26 @@ void BM_DenseBackend(benchmark::State& state) {
 }
 BENCHMARK(BM_DenseBackend)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
 
+// Saturated-phase cost versus workload size N on a fixed K=6 distributed
+// cluster (D(6) = 3003, dense path).  With the quasi-steady-state
+// fast-forward the curve must go near-flat once N exceeds the mixing time;
+// without it the cost is linear in N.  The solver is built once — the
+// per-iteration work is the epoch recursion itself.
+void BM_SaturatedPhaseVsN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto cfg = config(cluster::Architecture::kDistributed, 6, 1.0);
+  static const net::NetworkSpec spec = cluster::build_cluster(cfg);
+  static core::TransientSolver solver(spec, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.makespan(n));
+  }
+  state.counters["tasks"] = static_cast<double>(n);
+}
+BENCHMARK(BM_SaturatedPhaseVsN)
+    ->RangeMultiplier(10)
+    ->Range(100, 1000000)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_IterativeBackend(benchmark::State& state) {
   const auto k = static_cast<std::size_t>(state.range(0));
   const auto cfg = config(cluster::Architecture::kDistributed, k, 4.0);

@@ -6,8 +6,10 @@
 
 #include "check/invariants.h"
 #include "linalg/iterative.h"
+#include "linalg/parallel_blas.h"
 #include "obs/counters.h"
 #include "obs/trace.h"
+#include "parallel/thread_pool.h"
 
 namespace finwork::core {
 
@@ -18,6 +20,54 @@ TransientSolver::TransientSolver(const net::NetworkSpec& spec,
   // Fail fast on networks whose first-passage times diverge.
   spec.validate_connectivity();
   levels_.resize(k_ + 1);
+  if (opts_.prebuild_levels && !par::ThreadPool::on_worker_thread()) {
+    const obs::ObsSpan span("solver/prebuild_levels");
+    par::ThreadPool& pool = par::ThreadPool::global();
+    try {
+      // Levels big enough to parallelise their own assembly build inline,
+      // largest first, so the chunked triplet fan-out owns the pool; the
+      // small levels overlap with them as pool tasks.
+      constexpr std::size_t kInlineDim = 4096;
+      std::vector<std::size_t> inline_levels;
+      prebuild_.reserve(k_);
+      for (std::size_t k = 1; k <= k_; ++k) {
+        if (space_.dimension(k) < kInlineDim) {
+          prebuild_.push_back(
+              pool.submit([this, k] { (void)space_.level(k); }));
+        } else {
+          inline_levels.push_back(k);
+        }
+      }
+      for (auto it = inline_levels.rbegin(); it != inline_levels.rend();
+           ++it) {
+        (void)space_.level(*it);
+      }
+    } catch (...) {
+      // The pool tasks reference this object: never let the exception leave
+      // the constructor while they are still in flight.
+      for (auto& f : prebuild_) {
+        // NOLINTNEXTLINE(bugprone-empty-catch)
+        try {
+          f.get();
+        } catch (...) {
+        }
+      }
+      throw;
+    }
+  }
+}
+
+TransientSolver::~TransientSolver() {
+  for (auto& f : prebuild_) {
+    if (!f.valid()) continue;
+    // A failed prebuild leaves the level's once-flag unset, so the error
+    // resurfaces on first real use; here it only needs to be drained.
+    // NOLINTNEXTLINE(bugprone-empty-catch)
+    try {
+      f.get();
+    } catch (...) {
+    }
+  }
 }
 
 const TransientSolver::Level& TransientSolver::prepared_level(
@@ -52,6 +102,34 @@ const TransientSolver::Level& TransientSolver::prepared_level(
   return lvl;
 }
 
+const la::Matrix* TransientSolver::composite_operator(
+    std::size_t k, std::size_t expected_epochs) const {
+  if (!opts_.cache_composite) return nullptr;
+  const Level& lvl = prepared_level(k);
+  if (lvl.composite) return &*lvl.composite;
+  if (!lvl.lu) return nullptr;  // iterative level: no factorization to reuse
+  const std::size_t d = space_.dimension(k);
+  // Building T_k costs d triangular-solve pairs — the same as d epochs of
+  // the uncached recursion — so only pay it when the run amortises it.
+  if (expected_epochs < std::max(d, opts_.composite_min_epochs)) {
+    return nullptr;
+  }
+  const obs::ObsSpan span("solver/build_composite");
+  const net::LevelMatrices& lm = space_.level(k);
+  // Column c of Q_k R_k is Q_k (R_k e_c): two sparse column actions.
+  la::Matrix b(d, d, 0.0);
+  par::parallel_for(
+      par::ThreadPool::global(), 0, d,
+      [&](std::size_t c) {
+        const la::Vector col = lm.q.apply(lm.r.apply(la::unit(d, c)));
+        for (std::size_t r = 0; r < d; ++r) b(r, c) = col[r];
+      },
+      /*grain=*/16);
+  Level& mut = levels_[k];
+  mut.composite.emplace(lvl.lu->solve_many(b));
+  return &*mut.composite;
+}
+
 la::Vector TransientSolver::solve_left(std::size_t k,
                                        const la::Vector& pi) const {
   const Level& lvl = prepared_level(k);
@@ -61,13 +139,16 @@ la::Vector TransientSolver::solve_left(std::size_t k,
   }
   obs::counter_add(obs::Counter::kIterativeSolves);
   const net::LevelMatrices& lm = space_.level(k);
-  const auto apply_p = [&lm](const la::Vector& x) { return lm.p.apply_left(x); };
+  par::ThreadPool& pool = par::ThreadPool::global();
+  const auto apply_p = [&lm, &pool](const la::Vector& x) {
+    return lm.p.apply_left_parallel(x, pool);
+  };
   la::IterativeResult res = la::neumann_solve_left(
       apply_p, pi, opts_.tolerance, opts_.max_neumann_iterations);
   if (res.converged) return std::move(res.x);
-  const auto apply_a = [&lm](const la::Vector& x) {
+  const auto apply_a = [&lm, &pool](const la::Vector& x) {
     la::Vector y = x;
-    y -= lm.p.apply_left(x);
+    y -= lm.p.apply_left_parallel(x, pool);
     return y;
   };
   res = la::bicgstab_left(apply_a, pi, opts_.tolerance,
@@ -89,11 +170,12 @@ la::Vector TransientSolver::solve_right(std::size_t k,
   }
   obs::counter_add(obs::Counter::kIterativeSolves);
   const net::LevelMatrices& lm = space_.level(k);
+  par::ThreadPool& pool = par::ThreadPool::global();
   // Column solve: (I - P) x = b via the Neumann series x = sum P^n b.
   la::Vector x = b;
   la::Vector term = b;
   for (std::size_t n = 1; n <= opts_.max_neumann_iterations; ++n) {
-    term = lm.p.apply(term);
+    term = lm.p.apply_parallel(term, pool);
     x += term;
     if (term.norm_inf() < opts_.tolerance) {
       obs::counter_add(obs::Counter::kNeumannIterations, n);
@@ -105,9 +187,9 @@ la::Vector TransientSolver::solve_right(std::size_t k,
   // Fall back to BiCGSTAB on the transposed system: (I - P)^T y = ... not
   // needed; run BiCGSTAB with the column action expressed as a row action on
   // the transpose.  CSR supports both actions, so wire it directly.
-  const auto apply_at = [&lm](const la::Vector& v) {
+  const auto apply_at = [&lm, &pool](const la::Vector& v) {
     la::Vector y = v;
-    y -= lm.p.apply(v);
+    y -= lm.p.apply_parallel(v, pool);
     return y;
   };
   la::IterativeResult res = la::bicgstab_left(apply_at, b, opts_.tolerance,
@@ -126,11 +208,12 @@ const la::Vector& TransientSolver::tau(std::size_t k) const {
 
 la::Vector TransientSolver::apply_y(std::size_t k, const la::Vector& pi) const {
   const net::LevelMatrices& lm = space_.level(k);
-  return lm.q.apply_left(solve_left(k, pi));
+  return lm.q.apply_left_parallel(solve_left(k, pi),
+                                  par::ThreadPool::global());
 }
 
 la::Vector TransientSolver::apply_r(std::size_t k, const la::Vector& pi) const {
-  return space_.level(k).r.apply_left(pi);
+  return space_.level(k).r.apply_left_parallel(pi, par::ThreadPool::global());
 }
 
 double TransientSolver::mean_epoch_time(std::size_t k,
@@ -157,18 +240,15 @@ double TransientSolver::epoch_reliability(std::size_t k, const la::Vector& pi,
   // with q >= max rate, Pu = I + A/q acts on a row vector v as
   //   v Pu = v - (v .* M)/q + ((v .* M) P)/q.
   const net::LevelMatrices& lm = space_.level(k);
-  double q = 0.0;
-  for (std::size_t i = 0; i < lm.event_rates.size(); ++i) {
-    q = std::max(q, lm.event_rates[i]);
-  }
-  q *= 1.0001;
+  const double q = lm.max_event_rate * 1.0001;
   const double qt = q * t;
+  par::ThreadPool& pool = par::ThreadPool::global();
   auto step = [&](const la::Vector& v) {
     la::Vector scaled = v;
     for (std::size_t i = 0; i < scaled.size(); ++i) {
       scaled[i] *= lm.event_rates[i];
     }
-    la::Vector y = lm.p.apply_left(scaled);
+    la::Vector y = lm.p.apply_left_parallel(scaled, pool);
     y -= scaled;
     y /= q;
     y += v;
@@ -215,18 +295,71 @@ DepartureTimeline TransientSolver::solve(std::size_t tasks) const {
   // queue.  Runs for (tasks - top + 1) epochs; after each but the last, the
   // departure (Y) is followed by a replacement (R).
   const std::size_t saturated_epochs = tasks - top + 1;
+  const la::Matrix* composite =
+      saturated_epochs > 1 ? composite_operator(top, saturated_epochs - 1)
+                           : nullptr;
+  par::ThreadPool& pool = par::ThreadPool::global();
+  const net::LevelMatrices& lt = space_.level(top);
+  // Iterative-path warm start: w = pi (I - P_top)^-1 is carried across
+  // epochs and updated by solving for the increment only.  The iterates mix
+  // geometrically, so the increment — and with it the Neumann work of each
+  // epoch — shrinks toward zero as the run approaches steady state.
+  la::Vector w;
+  la::Vector last_solved;  // the pi that produced w
+  const auto advance = [&](const la::Vector& cur) {
+    if (composite != nullptr) {
+      return la::multiply_left_parallel(cur, *composite, pool);
+    }
+    if (w.empty()) {
+      w = solve_left(top, cur);
+    } else {
+      la::Vector rhs = cur;
+      rhs -= last_solved;
+      w += solve_left(top, rhs);
+    }
+    last_solved = cur;
+    return apply_r(top, lt.q.apply_left_parallel(w, pool));
+  };
+  la::Vector prev;
   for (std::size_t i = 0; i < saturated_epochs; ++i) {
     const obs::ObsSpan epoch_span("solver/epoch");
     obs::counter_add(obs::Counter::kEpochRecursions);
     tl.epoch_times.push_back(mean_epoch_time(top, pi));
     tl.population.push_back(top);
-    if (i + 1 < saturated_epochs) {
-      pi = apply_r(top, apply_y(top, pi));
+    if (i + 1 == saturated_epochs) break;
+    prev = pi;
+    pi = advance(pi);
+    if (opts_.fast_forward) {
+      double delta = 0.0;
+      for (std::size_t j = 0; j < pi.size(); ++j) {
+        delta = std::max(delta, std::abs(pi[j] - prev[j]));
+      }
+      if (delta < opts_.fast_forward_tolerance) {
+        // Mixed: every remaining saturated epoch departs from (numerically)
+        // this same distribution, so close them all at its epoch time and
+        // carry pi straight into the draining phase.
+        const double t_ss = mean_epoch_time(top, pi);
+        const std::size_t remaining = saturated_epochs - i - 1;
+        tl.epoch_times.insert(tl.epoch_times.end(), remaining, t_ss);
+        tl.population.insert(tl.population.end(), remaining, top);
+        obs::counter_add(obs::Counter::kFastForwardActivations);
+        obs::counter_add(obs::Counter::kEpochsSkipped, remaining);
+        break;
+      }
     }
   }
   // Draining phase: population falls top-1, top-2, ..., 1.
   if (top > 1) {
-    pi = apply_y(top, pi);
+    if (!w.empty()) {
+      // Reuse the saturated resolvent: pi differs from last_solved by one
+      // increment, so the final level-top solve is an increment solve too.
+      la::Vector rhs = pi;
+      rhs -= last_solved;
+      w += solve_left(top, rhs);
+      pi = lt.q.apply_left_parallel(w, pool);
+    } else {
+      pi = apply_y(top, pi);
+    }
     for (std::size_t k = top - 1; k >= 1; --k) {
       const obs::ObsSpan epoch_span("solver/epoch");
       obs::counter_add(obs::Counter::kEpochRecursions);
@@ -290,15 +423,66 @@ MakespanMoments TransientSolver::makespan_moments(std::size_t tasks) const {
 
   // Saturated segments: j admissions remaining, j = 0 .. tasks - top.
   const net::LevelMatrices& lt = space_.level(top);
+  const std::size_t total_j = tasks - top;
+  const la::Matrix* composite =
+      total_j > 0 ? composite_operator(top, total_j) : nullptr;
+  par::ThreadPool& pool = par::ThreadPool::global();
+  // One admission step of both recursions is the column action of
+  // T = (I - P)^-1 Q R; use the cached dense composite when available.
+  const auto t_apply = [&](const la::Vector& v) {
+    if (composite != nullptr) return la::multiply_parallel(*composite, v, pool);
+    return solve_right(top, lt.q.apply(lt.r.apply(v)));
+  };
   la::Vector m1 = tau(top) + flow_apply(top, m1_next);
   la::Vector x = v_apply(top, m1) + flow_apply(top, x_next);
-  for (std::size_t j = 1; j <= tasks - top; ++j) {
-    const la::Vector rm1 = lt.r.apply(m1);   // R_K m1 (column action)
-    const la::Vector rx = lt.r.apply(x);
-    la::Vector m1_new = tau(top) + solve_right(top, lt.q.apply(rm1));
-    la::Vector x_new = v_apply(top, m1_new) + solve_right(top, lt.q.apply(rx));
+  la::Vector d_prev;  // previous first difference of m1
+  la::Vector e_prev;  // previous first difference of x
+  la::Vector f_prev;  // previous second difference of x
+  for (std::size_t j = 1; j <= total_j; ++j) {
+    la::Vector m1_new = tau(top) + t_apply(m1);
+    la::Vector x_new = v_apply(top, m1_new) + t_apply(x);
+    la::Vector d = m1_new;
+    d -= m1;
+    la::Vector e = x_new;
+    e -= x;
     m1 = std::move(m1_new);
     x = std::move(x_new);
+
+    if (opts_.fast_forward && j >= 3) {
+      // Past mixing, m1 grows by a constant vector per admission
+      // (d_j -> t_ss eps) and the x increments become arithmetic
+      // (e_{j+i} ~ e_j + i f): once both the first difference of d and the
+      // second difference of x have stabilised, close the remaining
+      // admissions in closed form:
+      //   m1 += R d,   x += R e + R(R+1)/2 f,   R = total_j - j.
+      la::Vector dd = d;
+      dd -= d_prev;
+      la::Vector f = e;
+      f -= e_prev;
+      la::Vector ff = f;
+      ff -= f_prev;
+      const double tol = opts_.fast_forward_moment_tolerance;
+      // f is a second difference of near-cancelling terms; its floating
+      // noise floor is ~eps ||x||, below which no threshold can bite.
+      const double noise_floor = 4.0 * 2.220446049250313e-16 * x.norm_inf();
+      if (dd.norm_inf() <= tol * d.norm_inf() &&
+          ff.norm_inf() <= tol * f.norm_inf() + noise_floor) {
+        const auto remaining = static_cast<double>(total_j - j);
+        la::axpy(remaining, d, m1);
+        la::axpy(remaining, e, x);
+        la::axpy(0.5 * remaining * (remaining + 1.0), f, x);
+        obs::counter_add(obs::Counter::kFastForwardActivations);
+        obs::counter_add(obs::Counter::kEpochsSkipped, total_j - j);
+        break;
+      }
+      f_prev = std::move(f);
+    } else if (opts_.fast_forward && j >= 2) {
+      la::Vector f = e;
+      f -= e_prev;
+      f_prev = std::move(f);
+    }
+    d_prev = std::move(d);
+    e_prev = std::move(e);
   }
 
   const la::Vector p0 = space_.initial_vector(top);
@@ -338,13 +522,11 @@ std::vector<double> TransientSolver::makespan_cdf(
     blocks.push_back({level, false});
   }
 
-  // Uniformization rate: the fastest event rate across all levels.
+  // Uniformization rate: the fastest event rate across all levels (cached
+  // per level at build time).
   double q = 0.0;
   for (std::size_t level = 1; level <= top; ++level) {
-    const net::LevelMatrices& lm = space_.level(level);
-    for (std::size_t i = 0; i < lm.event_rates.size(); ++i) {
-      q = std::max(q, lm.event_rates[i]);
-    }
+    q = std::max(q, space_.level(level).max_event_rate);
   }
   q *= 1.0001;
 
@@ -354,51 +536,91 @@ std::vector<double> TransientSolver::makespan_cdf(
       qt_max + 12.0 * std::sqrt(qt_max + 1.0) + 64.0);
 
   // DTMC pass: track per-block row vectors and record the absorbed mass
-  // after each uniformized step.
+  // after each uniformized step.  All working buffers are sized once up
+  // front and reused every step.
+  const net::LevelMatrices& ltop = space_.level(top);
+  par::ThreadPool& pool = par::ThreadPool::global();
   std::vector<la::Vector> state(blocks.size());
+  std::vector<la::Vector> next(blocks.size());
+  std::vector<la::Vector> scaled(blocks.size());
+  std::vector<la::Vector> out(blocks.size());
+  std::vector<la::Vector> handoff(blocks.size());
   for (std::size_t b = 0; b < blocks.size(); ++b) {
-    state[b] = la::Vector(space_.dimension(blocks[b].level), 0.0);
+    const std::size_t d = space_.dimension(blocks[b].level);
+    state[b] = la::Vector(d, 0.0);
+    next[b] = la::Vector(d, 0.0);
+    scaled[b] = la::Vector(d, 0.0);
+    out[b] = la::Vector(space_.dimension(blocks[b].level - 1), 0.0);
+    if (blocks[b].replace) {
+      handoff[b] = la::Vector(space_.dimension(top), 0.0);
+    }
   }
   state[0] = space_.initial_vector(top);
   double absorbed = 0.0;
   std::vector<double> absorbed_after{absorbed};  // a_0
   absorbed_after.reserve(n_max + 1);
 
-  std::vector<la::Vector> next(blocks.size());
-  for (std::size_t step = 1; step <= n_max; ++step) {
-    for (std::size_t b = 0; b < blocks.size(); ++b) {
-      const net::LevelMatrices& lm = space_.level(blocks[b].level);
-      // v - (v .* M)/q + ((v .* M) P)/q
-      la::Vector scaled = state[b];
-      for (std::size_t i = 0; i < scaled.size(); ++i) {
-        scaled[i] *= lm.event_rates[i] / q;
-      }
-      la::Vector nb = lm.p.apply_left(scaled);
-      nb -= scaled;
-      nb += state[b];
-      // departures leave the block
-      la::Vector out = lm.q.apply_left(scaled);
-      if (b + 1 < blocks.size()) {
-        la::Vector& target = next[b + 1];
-        if (blocks[b].replace) {
-          // re-admission: back up to level `top`
-          la::Vector in = space_.level(top).r.apply_left(out);
-          if (target.size() == 0) target = la::Vector(in.size(), 0.0);
-          target += in;
-        } else {
-          if (target.size() == 0) target = la::Vector(out.size(), 0.0);
-          target += out;
-        }
+  // One uniformized step of block b into its own buffers:
+  //   next_b = v - (v .* M)/q + ((v .* M) P)/q,  out_b = (v .* M) Q / q,
+  // with the departing mass routed later in a serial merge so the block
+  // fan-out stays deterministic.  `inner_parallel` picks pooled CSR
+  // actions when the blocks themselves run serially.
+  const auto step_block = [&](std::size_t b, bool inner_parallel) {
+    const net::LevelMatrices& lm = space_.level(blocks[b].level);
+    const la::Vector& st = state[b];
+    la::Vector& sc = scaled[b];
+    for (std::size_t i = 0; i < sc.size(); ++i) {
+      sc[i] = st[i] * lm.event_rates[i] / q;
+    }
+    la::Vector& nb = next[b];
+    if (inner_parallel) {
+      nb = lm.p.apply_left_parallel(sc, pool);
+    } else {
+      nb.fill(0.0);
+      lm.p.apply_left_add(sc, nb);
+    }
+    nb -= sc;
+    nb += st;
+    la::Vector& ob = out[b];
+    if (inner_parallel) {
+      ob = lm.q.apply_left_parallel(sc, pool);
+    } else {
+      ob.fill(0.0);
+      lm.q.apply_left_add(sc, ob);
+    }
+    if (blocks[b].replace) {
+      la::Vector& hb = handoff[b];
+      if (inner_parallel) {
+        hb = ltop.r.apply_left_parallel(ob, pool);
       } else {
-        absorbed += out.sum();
+        hb.fill(0.0);
+        ltop.r.apply_left_add(ob, hb);
       }
-      if (next[b].size() == 0) next[b] = la::Vector(nb.size(), 0.0);
-      next[b] += nb;
     }
+  };
+
+  const bool fan_out = blocks.size() >= 4 && pool.size() > 1 &&
+                       !par::ThreadPool::on_worker_thread();
+  const std::size_t grain =
+      std::max<std::size_t>(1, blocks.size() / (4 * pool.size()));
+  for (std::size_t step = 1; step <= n_max; ++step) {
+    if (fan_out) {
+      par::parallel_for(
+          pool, 0, blocks.size(), [&](std::size_t b) { step_block(b, false); },
+          grain);
+    } else {
+      for (std::size_t b = 0; b < blocks.size(); ++b) step_block(b, true);
+    }
+    // Serial merge in ascending block order: identical accumulation order
+    // whether or not the blocks fanned out above.
     for (std::size_t b = 0; b < blocks.size(); ++b) {
-      state[b] = std::move(next[b]);
-      next[b] = la::Vector();
+      if (b + 1 < blocks.size()) {
+        next[b + 1] += blocks[b].replace ? handoff[b] : out[b];
+      } else {
+        absorbed += out[b].sum();
+      }
     }
+    state.swap(next);
     absorbed_after.push_back(absorbed);
     if (1.0 - absorbed < 1e-13) {
       // effectively done: later steps keep the same absorbed mass
@@ -520,9 +742,10 @@ const la::Vector& TransientSolver::time_stationary_distribution() const {
   // z = pi .* M, stationarity reads z (P + Q R) = z: find z by (damped)
   // power iteration, then unscale by the rates and normalize.
   const net::LevelMatrices& lm = space_.level(k_);
+  par::ThreadPool& pool = par::ThreadPool::global();
   const auto apply_jump = [&](const la::Vector& z) {
-    la::Vector next = lm.p.apply_left(z);
-    next += lm.r.apply_left(lm.q.apply_left(z));
+    la::Vector next = lm.p.apply_left_parallel(z, pool);
+    next += lm.r.apply_left_parallel(lm.q.apply_left_parallel(z, pool), pool);
     next += z;
     next *= 0.5;
     return next;

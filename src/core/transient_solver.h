@@ -12,6 +12,7 @@
 // if the series converges too slowly).
 
 #include <cstddef>
+#include <future>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -31,6 +32,26 @@ struct SolverOptions {
   std::size_t max_neumann_iterations = 20000;
   std::size_t max_bicgstab_iterations = 20000;
   std::size_t max_power_iterations = 100000;
+  /// Close the saturated phase analytically once the epoch iterates have
+  /// mixed to the steady state (see docs/PERFORMANCE.md).  Exact to solver
+  /// precision; turn off to force the full epoch-by-epoch recursion.
+  bool fast_forward = true;
+  /// Mixing threshold for solve(): fast-forward once the successive
+  /// departure-epoch distributions satisfy ||pi_{i+1} - pi_i||_inf < this.
+  /// Keep above `tolerance` — the iterates themselves carry solve error.
+  double fast_forward_tolerance = 1e-11;
+  /// Relative mixing threshold for makespan_moments(): fast-forward once the
+  /// per-epoch moment increments have stabilised to this relative precision.
+  double fast_forward_moment_tolerance = 1e-10;
+  /// Cache the dense composite operator T_K = (I - P_K)^-1 Q_K R_K for the
+  /// saturated phase, turning each epoch into a single GEMV.  Only built on
+  /// dense (LU-factored) levels when enough epochs will amortise the build.
+  bool cache_composite = true;
+  /// Never build the composite for fewer saturated epochs than this.
+  std::size_t composite_min_epochs = 32;
+  /// Build the level matrices for 1..K concurrently on the global thread
+  /// pool at construction instead of lazily on first use.
+  bool prebuild_levels = true;
 };
 
 /// Per-epoch output of the transient model.
@@ -77,6 +98,12 @@ class TransientSolver {
   /// `workstations` is K: the number of tasks held in service concurrently.
   TransientSolver(const net::NetworkSpec& spec, std::size_t workstations,
                   SolverOptions options = {});
+  /// Drains any level prebuilds still in flight on the thread pool.
+  ~TransientSolver();
+  TransientSolver(const TransientSolver&) = delete;
+  TransientSolver& operator=(const TransientSolver&) = delete;
+  TransientSolver(TransientSolver&&) = delete;
+  TransientSolver& operator=(TransientSolver&&) = delete;
 
   [[nodiscard]] const net::StateSpace& space() const noexcept { return space_; }
   [[nodiscard]] std::size_t workstations() const noexcept { return k_; }
@@ -164,6 +191,10 @@ class TransientSolver {
   struct Level {
     std::optional<la::LuDecomposition> lu;  // dense LU of (I - P_k)
     la::Vector tau;
+    // Dense T_k = (I - P_k)^-1 Q_k R_k, built once when a saturated run is
+    // long enough to amortise it; serves both the row recursion of solve()
+    // and the column recursion of makespan_moments().
+    std::optional<la::Matrix> composite;
     bool prepared = false;
   };
 
@@ -172,6 +203,11 @@ class TransientSolver {
   [[nodiscard]] la::Vector solve_left(std::size_t k, const la::Vector& pi) const;
   /// x = (I - P_k)^-1 b (column solve).
   [[nodiscard]] la::Vector solve_right(std::size_t k, const la::Vector& b) const;
+  /// Cached dense composite T_k, or nullptr when caching is off, the level
+  /// is iterative, or `expected_epochs` would not amortise the d solves of
+  /// the build.
+  [[nodiscard]] const la::Matrix* composite_operator(
+      std::size_t k, std::size_t expected_epochs) const;
 
   net::StateSpace space_;
   std::size_t k_;
@@ -179,6 +215,7 @@ class TransientSolver {
   mutable std::vector<Level> levels_;
   mutable std::optional<SteadyStateResult> steady_;
   mutable std::optional<la::Vector> time_stationary_;
+  mutable std::vector<std::future<void>> prebuild_;
 };
 
 }  // namespace finwork::core

@@ -69,4 +69,22 @@ Vector multiply_left_parallel(const Vector& x, const Matrix& a,
   return y;
 }
 
+Vector multiply_parallel(const Matrix& a, const Vector& x,
+                         par::ThreadPool& pool) {
+  if (a.cols() != x.size()) {
+    throw std::invalid_argument("multiply_parallel: dimensions disagree");
+  }
+  Vector y(a.rows(), 0.0);
+  par::parallel_for(
+      pool, 0, a.rows(),
+      [&](std::size_t i) {
+        const auto arow = a.row(i);
+        double s = 0.0;
+        for (std::size_t j = 0; j < arow.size(); ++j) s += arow[j] * x[j];
+        y[i] = s;
+      },
+      /*grain=*/64);
+  return y;
+}
+
 }  // namespace finwork::la

@@ -25,4 +25,11 @@ namespace finwork::la {
 [[nodiscard]] Vector multiply_left_parallel(const Vector& x, const Matrix& a,
                                             par::ThreadPool& pool);
 
+/// y = A * x parallelized over row panels (column action, used by the
+/// moment recursions on the cached composite operator).  Each y[i] is
+/// accumulated by exactly one panel in the serial order, so the result is
+/// bitwise identical to the serial product.
+[[nodiscard]] Vector multiply_parallel(const Matrix& a, const Vector& x,
+                                       par::ThreadPool& pool);
+
 }  // namespace finwork::la

@@ -1,9 +1,35 @@
 #include "linalg/sparse.h"
 
 #include <algorithm>
+#include <cmath>
+#include <future>
 #include <stdexcept>
 
+#include "obs/counters.h"
+
 namespace finwork::la {
+
+namespace {
+
+/// Below this many stored entries the dispatch overhead of a panel fan-out
+/// exceeds the SpMV itself; stay serial.
+constexpr std::size_t kParallelNnzThreshold = 1 << 15;
+
+/// Fixed row-panel boundaries for a pool of `workers` threads: a pure
+/// function of (rows, workers), so repeated runs on the same pool split the
+/// same way and stay deterministic.
+std::vector<std::size_t> panel_bounds(std::size_t rows, std::size_t workers) {
+  const std::size_t panels =
+      std::max<std::size_t>(1, std::min(workers * 2, rows / 512));
+  const std::size_t step = (rows + panels - 1) / panels;
+  std::vector<std::size_t> bounds{0};
+  for (std::size_t lo = 0; lo < rows; lo += step) {
+    bounds.push_back(std::min(rows, lo + step));
+  }
+  return bounds;
+}
+
+}  // namespace
 
 CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
                      std::vector<Triplet> triplets)
@@ -65,6 +91,85 @@ Vector CsrMatrix::apply_left(const Vector& x) const {
       y[col_idx_[k]] += xr * values_[k];
     }
   }
+  return y;
+}
+
+void CsrMatrix::apply_left_add(const Vector& x, Vector& y) const {
+  if (x.size() != rows_ || y.size() != cols_) {
+    throw std::invalid_argument("CSR apply_left_add: size mismatch");
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      y[col_idx_[k]] += xr * values_[k];
+    }
+  }
+}
+
+Vector CsrMatrix::apply_parallel(const Vector& x, par::ThreadPool& pool) const {
+  if (x.size() != cols_) throw std::invalid_argument("CSR apply: size mismatch");
+  if (values_.size() < kParallelNnzThreshold || pool.size() <= 1 ||
+      par::ThreadPool::on_worker_thread()) {
+    return apply(x);
+  }
+  const std::vector<std::size_t> bounds = panel_bounds(rows_, pool.size());
+  const std::size_t panels = bounds.size() - 1;
+  if (panels <= 1) return apply(x);
+  obs::counter_add(obs::Counter::kParallelSpmvChunks, panels);
+  Vector y(rows_, 0.0);
+  std::vector<std::future<void>> futures;
+  futures.reserve(panels);
+  for (std::size_t p = 0; p < panels; ++p) {
+    futures.push_back(pool.submit([&, lo = bounds[p], hi = bounds[p + 1]] {
+      for (std::size_t r = lo; r < hi; ++r) {
+        double s = 0.0;
+        for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+          s += values_[k] * x[col_idx_[k]];
+        }
+        y[r] = s;
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+  return y;
+}
+
+Vector CsrMatrix::apply_left_parallel(const Vector& x,
+                                      par::ThreadPool& pool) const {
+  if (x.size() != rows_) {
+    throw std::invalid_argument("CSR apply_left: size mismatch");
+  }
+  if (values_.size() < kParallelNnzThreshold || pool.size() <= 1 ||
+      par::ThreadPool::on_worker_thread()) {
+    return apply_left(x);
+  }
+  const std::vector<std::size_t> bounds = panel_bounds(rows_, pool.size());
+  const std::size_t panels = bounds.size() - 1;
+  if (panels <= 1) return apply_left(x);
+  obs::counter_add(obs::Counter::kParallelSpmvChunks, panels);
+  // Scatter into per-panel accumulators, then merge in ascending panel
+  // order: deterministic because the panel split and the merge order are
+  // both fixed.
+  std::vector<Vector> partial(panels);
+  std::vector<std::future<void>> futures;
+  futures.reserve(panels);
+  for (std::size_t p = 0; p < panels; ++p) {
+    futures.push_back(pool.submit([&, p, lo = bounds[p], hi = bounds[p + 1]] {
+      Vector local(cols_, 0.0);
+      for (std::size_t r = lo; r < hi; ++r) {
+        const double xr = x[r];
+        if (xr == 0.0) continue;
+        for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+          local[col_idx_[k]] += xr * values_[k];
+        }
+      }
+      partial[p] = std::move(local);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  Vector y = std::move(partial[0]);
+  for (std::size_t p = 1; p < panels; ++p) y += partial[p];
   return y;
 }
 

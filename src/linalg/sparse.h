@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "parallel/thread_pool.h"
 
 namespace finwork::la {
 
@@ -33,6 +34,23 @@ class CsrMatrix {
   [[nodiscard]] Vector apply(const Vector& x) const;
   /// y = x A (row action; equivalently A^T x).
   [[nodiscard]] Vector apply_left(const Vector& x) const;
+  /// y += x A, accumulated into a caller-owned (pre-zeroed or partial)
+  /// buffer — the allocation-free row action the uniformization loops use.
+  void apply_left_add(const Vector& x, Vector& y) const;
+
+  /// y = A x partitioned into row panels on `pool`.  Each output entry is
+  /// owned by exactly one panel and accumulated in the serial order, so the
+  /// result is bitwise identical to apply().  Falls back to the serial
+  /// kernel for small matrices and when called from a pool worker (nested
+  /// fan-out would risk deadlock).
+  [[nodiscard]] Vector apply_parallel(const Vector& x,
+                                      par::ThreadPool& pool) const;
+  /// y = x A on `pool`: row panels accumulate into per-panel buffers which
+  /// are then merged in fixed ascending panel order — deterministic
+  /// run-to-run (the panel split depends only on the matrix and pool size),
+  /// though the merge reassociates additions relative to apply_left().
+  [[nodiscard]] Vector apply_left_parallel(const Vector& x,
+                                           par::ThreadPool& pool) const;
 
   /// Row sums, i.e. A * ones.
   [[nodiscard]] Vector row_sums() const;

@@ -23,7 +23,7 @@ StateSpace::StateSpace(const NetworkSpec& spec, std::size_t max_population)
   level_states_.resize(max_pop_ + 1);
   level_index_.resize(max_pop_ + 1);
   level_matrices_.resize(max_pop_ + 1);
-  level_built_.assign(max_pop_ + 1, false);
+  level_once_ = std::make_unique<std::once_flag[]>(max_pop_ + 1);
   {
     const obs::ObsSpan span("state_space/enumerate");
     for (std::size_t k = 0; k <= max_pop_; ++k) enumerate_level(k);
@@ -112,7 +112,7 @@ std::string StateSpace::describe(std::size_t k, std::size_t idx) const {
 
 const LevelMatrices& StateSpace::level(std::size_t k) const {
   if (k == 0 || k > max_pop_) throw std::out_of_range("StateSpace::level");
-  if (!level_built_[k]) build_level(k);
+  std::call_once(level_once_[k], [&] { build_level(k); });
   return level_matrices_[k];
 }
 
@@ -210,7 +210,9 @@ void StateSpace::build_level(std::size_t k) const {
   std::vector<la::Triplet> q_trips;
   const std::size_t d = states_k.size();
   constexpr std::size_t kParallelThreshold = 4096;
-  if (d < kParallelThreshold) {
+  // Stay serial on a pool worker: a chunked submit-and-wait from inside a
+  // pool task can deadlock once every worker is blocked on queued subtasks.
+  if (d < kParallelThreshold || par::ThreadPool::on_worker_thread()) {
     process_range(0, d, p_trips, q_trips);
   } else {
     par::ThreadPool& pool = par::ThreadPool::global();
@@ -235,6 +237,10 @@ void StateSpace::build_level(std::size_t k) const {
       p_trips.insert(p_trips.end(), buf.p.begin(), buf.p.end());
       q_trips.insert(q_trips.end(), buf.q.begin(), buf.q.end());
     }
+  }
+
+  for (std::size_t i = 0; i < lm.event_rates.size(); ++i) {
+    lm.max_event_rate = std::max(lm.max_event_rate, lm.event_rates[i]);
   }
 
   lm.p = la::CsrMatrix(states_k.size(), states_k.size(), std::move(p_trips));
@@ -270,7 +276,6 @@ void StateSpace::build_level(std::size_t k) const {
   }
 
   level_matrices_[k] = std::move(lm);
-  level_built_[k] = true;
 }
 
 la::Vector StateSpace::initial_vector(std::size_t k) const {

@@ -12,6 +12,8 @@
 // are enumerated per level and indexed densely; matrices are CSR.
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -41,6 +43,7 @@ struct GlobalStateHash {
 struct LevelMatrices {
   std::size_t level = 0;          ///< k
   la::Vector event_rates;         ///< diag of M_k (dimension D(k))
+  double max_event_rate = 0.0;    ///< max of event_rates, cached at build time
   la::CsrMatrix p;                ///< P_k, D(k) x D(k)
   la::CsrMatrix q;                ///< Q_k, D(k) x D(k-1)
   la::CsrMatrix r;                ///< R_k, D(k-1) x D(k)
@@ -74,6 +77,9 @@ class StateSpace {
   [[nodiscard]] std::string describe(std::size_t k, std::size_t idx) const;
 
   /// Level matrices for population k (1 <= k <= K); built on first use.
+  /// Thread-safe: concurrent callers for the same level block until one
+  /// build completes, so the solver may prefetch levels on the thread pool
+  /// while the caller starts using them.
   [[nodiscard]] const LevelMatrices& level(std::size_t k) const;
 
   /// The paper's initial vector p_K = p R_2 R_3 ... R_K: the state
@@ -97,7 +103,9 @@ class StateSpace {
   std::vector<std::unordered_map<GlobalState, std::size_t, GlobalStateHash>>
       level_index_;
   mutable std::vector<LevelMatrices> level_matrices_;
-  mutable std::vector<bool> level_built_;
+  // One flag per level: call_once both serializes concurrent builders of the
+  // same level and publishes the built matrices to later readers.
+  mutable std::unique_ptr<std::once_flag[]> level_once_;
 };
 
 }  // namespace finwork::net

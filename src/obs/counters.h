@@ -27,6 +27,10 @@ enum class Counter : std::size_t {
   kBicgstabIterations,   ///< total BiCGSTAB iterations
   kPowerIterations,      ///< total power-iteration steps
   kEpochRecursions,      ///< Y_k / R_k epoch steps taken by solve()
+  kFastForwardActivations,  ///< saturated loops closed analytically
+  kEpochsSkipped,        ///< epochs closed by fast-forward instead of applied
+  kParallelSpmvChunks,   ///< row panels dispatched by parallel CSR actions
+  kMultiRhsSolves,       ///< multi-RHS LU solves (solve_many calls)
   kLevelsBuilt,          ///< state-space level matrix assemblies
   kStatesEnumerated,     ///< states enumerated across all levels
   kKronProducts,         ///< dense Kronecker products formed

@@ -10,6 +10,13 @@
 
 namespace finwork::par {
 
+namespace {
+// Set for the lifetime of each worker's loop; queried by on_worker_thread().
+thread_local bool t_on_worker = false;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() noexcept { return t_on_worker; }
+
 ThreadPool::ThreadPool(std::size_t threads) {
   // Workers may record spans/counters during static teardown; constructing
   // the obs registries first guarantees they outlive the pool.
@@ -45,6 +52,7 @@ void ThreadPool::enqueue(std::function<void()> fn) {
 }
 
 void ThreadPool::worker_loop() {
+  t_on_worker = true;
   for (;;) {
     Task task;
     {
@@ -77,7 +85,10 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
   const std::size_t max_chunks = pool.size() * 4;
   const std::size_t chunk = std::max(grain, (n + max_chunks - 1) / max_chunks);
 
-  if (n <= chunk) {  // not worth dispatching
+  // Run inline when the range is small or when already on a pool worker:
+  // submitting from a worker and blocking on the futures can deadlock once
+  // every worker is parked waiting for subtasks none of them can run.
+  if (n <= chunk || ThreadPool::on_worker_thread()) {
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
@@ -114,6 +125,19 @@ double parallel_sum(ThreadPool& pool, std::size_t begin, std::size_t end,
   grain = std::max<std::size_t>(1, grain);
   const std::size_t max_chunks = pool.size() * 4;
   const std::size_t chunk = std::max(grain, (n + max_chunks - 1) / max_chunks);
+
+  if (n <= chunk || ThreadPool::on_worker_thread()) {
+    // Same chunk boundaries as the dispatched path, combined in the same
+    // left-to-right order, so inline and pooled runs agree bitwise.
+    double total = 0.0;
+    for (std::size_t lo = begin; lo < end; lo += chunk) {
+      const std::size_t hi = std::min(end, lo + chunk);
+      double s = 0.0;
+      for (std::size_t i = lo; i < hi; ++i) s += map(i);
+      total += s;
+    }
+    return total;
+  }
 
   std::vector<std::future<double>> futures;
   for (std::size_t lo = begin; lo < end; lo += chunk) {

@@ -48,6 +48,12 @@ class ThreadPool {
   /// The process-wide default pool (lazily constructed, hardware-sized).
   static ThreadPool& global();
 
+  /// True when the calling thread is a worker of *any* ThreadPool.  Nested
+  /// fan-out helpers (parallel_for, the parallel linalg kernels) consult this
+  /// and run inline instead of submitting: a worker that blocks on futures
+  /// for subtasks queued behind other blocked workers deadlocks the pool.
+  [[nodiscard]] static bool on_worker_thread() noexcept;
+
  private:
   /// A queued task plus its enqueue timestamp (obs task-latency counter;
   /// zero when the observability layer is compiled out).

@@ -1,0 +1,141 @@
+// Determinism contract of the parallel CSR actions: apply_parallel is
+// bitwise identical to the serial kernel (disjoint row ownership), and
+// apply_left_parallel is bitwise reproducible run to run (fixed panel
+// split, fixed merge order) even though its merge reassociates additions
+// relative to the serial kernel.  Also covers the nested-dispatch guard:
+// both kernels fall back to the serial path on a pool worker instead of
+// deadlocking the pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "cluster/experiments.h"
+#include "core/transient_solver.h"
+#include "linalg/sparse.h"
+#include "network/state_space.h"
+#include "parallel/thread_pool.h"
+
+namespace {
+
+using namespace finwork;
+
+// Deterministic LCG so the fixture needs no <random> seeding subtleties.
+std::uint64_t lcg(std::uint64_t& s) {
+  s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+  return s >> 33;
+}
+
+// A CSR matrix big enough to clear the parallel nnz threshold (2^15).
+la::CsrMatrix make_matrix(std::size_t rows, std::size_t cols,
+                          std::size_t nnz_per_row, std::uint64_t seed) {
+  std::vector<la::Triplet> trips;
+  trips.reserve(rows * nnz_per_row);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t j = 0; j < nnz_per_row; ++j) {
+      const std::size_t c = lcg(seed) % cols;
+      const double v =
+          (static_cast<double>(lcg(seed) % 2000) - 1000.0) / 977.0;
+      trips.push_back({r, c, v});
+    }
+  }
+  return la::CsrMatrix(rows, cols, std::move(trips));
+}
+
+la::Vector make_vector(std::size_t n, std::uint64_t seed) {
+  la::Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = (static_cast<double>(lcg(seed) % 2000) - 1000.0) / 491.0;
+  }
+  return x;
+}
+
+TEST(CsrParallelTest, ApplyParallelIsBitwiseSerial) {
+  const la::CsrMatrix a = make_matrix(2500, 1800, 20, 7);
+  ASSERT_GE(a.nnz(), std::size_t{1} << 15);
+  const la::Vector x = make_vector(a.cols(), 11);
+  par::ThreadPool pool(4);
+  const la::Vector serial = a.apply(x);
+  const la::Vector parallel = a.apply_parallel(x, pool);
+  EXPECT_EQ(serial, parallel);  // bitwise: each row owned by one panel
+}
+
+TEST(CsrParallelTest, ApplyLeftParallelIsReproducibleAndCorrect) {
+  const la::CsrMatrix a = make_matrix(2500, 1800, 20, 13);
+  const la::Vector x = make_vector(a.rows(), 17);
+  par::ThreadPool pool(4);
+  const la::Vector serial = a.apply_left(x);
+  const la::Vector first = a.apply_left_parallel(x, pool);
+  EXPECT_TRUE(la::allclose(first, serial, 1e-13, 1e-13));
+  for (int run = 0; run < 5; ++run) {
+    const la::Vector again = a.apply_left_parallel(x, pool);
+    EXPECT_EQ(first, again);  // bitwise run-to-run
+  }
+}
+
+TEST(CsrParallelTest, ApplyLeftAddAccumulatesInPlace) {
+  const la::CsrMatrix a = make_matrix(300, 200, 8, 19);
+  const la::Vector x = make_vector(a.rows(), 23);
+  la::Vector y(a.cols(), 0.0);
+  a.apply_left_add(x, y);
+  EXPECT_EQ(y, a.apply_left(x));
+  a.apply_left_add(x, y);  // second pass accumulates
+  const la::Vector twice = a.apply_left(x) + a.apply_left(x);
+  EXPECT_TRUE(la::allclose(y, twice, 1e-14, 1e-14));
+}
+
+TEST(CsrParallelTest, NestedCallsOnWorkerFallBackSerially) {
+  const la::CsrMatrix a = make_matrix(2500, 1800, 20, 29);
+  const la::Vector x = make_vector(a.cols(), 31);
+  const la::Vector xl = make_vector(a.rows(), 37);
+  par::ThreadPool pool(4);
+  const la::Vector serial = a.apply(x);
+  const la::Vector serial_left = a.apply_left(xl);
+  // From inside a worker the kernels must not fan out again (deadlock
+  // hazard) — and the serial fallback keeps the results bitwise identical.
+  auto fut = pool.submit([&] {
+    EXPECT_TRUE(par::ThreadPool::on_worker_thread());
+    const la::Vector nested = a.apply_parallel(x, pool);
+    const la::Vector nested_left = a.apply_left_parallel(xl, pool);
+    return nested == serial && nested_left == serial_left;
+  });
+  EXPECT_TRUE(fut.get());
+  EXPECT_FALSE(par::ThreadPool::on_worker_thread());
+}
+
+TEST(CsrParallelTest, ConcurrentLevelAccessBuildsOnce) {
+  // StateSpace::level is documented thread-safe: hammer every level from
+  // many threads; call_once must serialise the builders and everyone must
+  // see fully built matrices.
+  cluster::ExperimentConfig cfg;
+  cfg.architecture = cluster::Architecture::kDistributed;
+  cfg.workstations = 4;
+  const net::NetworkSpec spec = cluster::build_cluster(cfg);
+  core::SolverOptions opts;
+  opts.prebuild_levels = false;  // the threads below do the building
+  const core::TransientSolver solver(spec, cfg.workstations, opts);
+  const net::StateSpace& space = solver.space();
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (std::size_t k = 1; k <= cfg.workstations; ++k) {
+        const net::LevelMatrices& lm = space.level(k);
+        if (lm.level != k || lm.p.rows() != space.dimension(k) ||
+            lm.event_rates.size() != space.dimension(k) ||
+            lm.max_event_rate <= 0.0) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace

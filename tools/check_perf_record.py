@@ -10,10 +10,22 @@ Checks: the file parses, the schema tag matches, metadata fields are
 strings, at least one benchmark entry exists, and every entry carries a
 name, finite non-negative real_seconds, positive iterations, and numeric
 metrics.  Exits 0 when valid, 1 with a diagnostic otherwise.
+
+Regression mode compares per-iteration real time against a committed
+baseline record on every benchmark name the two files share:
+
+  python3 tools/check_perf_record.py --compare BENCH_solver.json \
+      --max-regression 50 new_record.json
+
+Exits 1 when any shared benchmark is more than --max-regression percent
+slower than the baseline (names only in one file are reported, not
+failed — machines differ, so CI runs this warn-only against the
+committed baseline).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import math
 import sys
@@ -78,13 +90,77 @@ def check(path: str) -> int:
     return 0
 
 
-def main(argv: list[str]) -> int:
-    if not argv:
-        print("usage: check_perf_record.py FILE...", file=sys.stderr)
-        return 2
+def per_iteration_seconds(doc: dict) -> dict[str, float]:
+    """Map benchmark name -> real seconds per iteration."""
+    out: dict[str, float] = {}
+    for entry in doc["benchmarks"]:
+        iters = entry["iterations"]
+        if iters > 0:
+            out[entry["name"]] = entry["real_seconds"] / iters
+    return out
+
+
+def compare(path: str, baseline_path: str, max_regression_pct: float) -> int:
+    """Fail when a shared benchmark regressed beyond the threshold."""
+    for p in (baseline_path, path):
+        if check(p) != 0:
+            return 1
+    with open(baseline_path, encoding="utf-8") as f:
+        base = per_iteration_seconds(json.load(f))
+    with open(path, encoding="utf-8") as f:
+        new = per_iteration_seconds(json.load(f))
+
+    shared = sorted(base.keys() & new.keys())
+    only_base = sorted(base.keys() - new.keys())
+    only_new = sorted(new.keys() - base.keys())
+    for name in only_base:
+        print(f"check_perf_record: note: {name!r} only in baseline")
+    for name in only_new:
+        print(f"check_perf_record: note: {name!r} only in {path}")
+    if not shared:
+        return fail(f"{path}: no benchmark names shared with {baseline_path}")
+
     status = 0
-    for path in argv:
-        status = max(status, check(path))
+    for name in shared:
+        old_s, new_s = base[name], new[name]
+        if old_s <= 0.0:
+            print(f"check_perf_record: note: {name}: zero-time baseline, skipped")
+            continue
+        delta_pct = 100.0 * (new_s - old_s) / old_s
+        verdict = "ok"
+        if delta_pct > max_regression_pct:
+            verdict = f"REGRESSION (> {max_regression_pct:g}%)"
+            status = 1
+        print(f"check_perf_record: {name}: {old_s:.6g}s -> {new_s:.6g}s "
+              f"per iteration ({delta_pct:+.1f}%) {verdict}")
+    if status:
+        return fail(f"{path}: regression beyond {max_regression_pct:g}% "
+                    f"vs {baseline_path}")
+    print(f"check_perf_record: OK: {path} within {max_regression_pct:g}% "
+          f"of {baseline_path} on {len(shared)} shared benchmark(s)")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate finwork perf records; optionally compare "
+                    "against a baseline record.")
+    parser.add_argument("files", nargs="+", help="perf-record JSON file(s)")
+    parser.add_argument("--compare", metavar="BASELINE", default=None,
+                        help="baseline record to compare each file against")
+    parser.add_argument("--max-regression", metavar="PCT", type=float,
+                        default=25.0,
+                        help="allowed per-iteration slowdown in percent "
+                             "(default 25)")
+    args = parser.parse_args(argv)
+
+    status = 0
+    for path in args.files:
+        if args.compare is not None:
+            status = max(status, compare(path, args.compare,
+                                         args.max_regression))
+        else:
+            status = max(status, check(path))
     return status
 
 
