@@ -1,11 +1,27 @@
 #include "cluster/experiments.h"
 
+#include <array>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "core/metrics.h"
+#include "core/model_cache.h"
 #include "parallel/thread_pool.h"
 
 namespace finwork::cluster {
+
+namespace {
+
+/// Shared model for a config, through the process-wide content-addressed
+/// cache: concurrent sweep points that differ only in N (or that collapse to
+/// the same exponentialized cluster) build the model once and share it.
+std::shared_ptr<const core::ModelArtifacts> cached_model(
+    const net::NetworkSpec& spec, std::size_t workstations) {
+  return core::ModelCache::global().acquire(spec, workstations);
+}
+
+}  // namespace
 
 net::NetworkSpec build_cluster(const ExperimentConfig& config) {
   switch (config.architecture) {
@@ -20,9 +36,16 @@ net::NetworkSpec build_cluster(const ExperimentConfig& config) {
 }
 
 double cluster_makespan(const ExperimentConfig& config, std::size_t tasks) {
-  const core::TransientSolver solver(build_cluster(config),
-                                     config.workstations);
+  const core::TransientSolver solver(
+      cached_model(build_cluster(config), config.workstations));
   return solver.makespan(tasks);
+}
+
+std::vector<double> cluster_makespan_grid(const ExperimentConfig& config,
+                                          std::span<const std::size_t> tasks) {
+  const core::TransientSolver solver(
+      cached_model(build_cluster(config), config.workstations));
+  return solver.makespan_grid(tasks);
 }
 
 double cluster_speedup(const ExperimentConfig& config, std::size_t tasks) {
@@ -33,11 +56,28 @@ double cluster_speedup(const ExperimentConfig& config, std::size_t tasks) {
 double cluster_prediction_error(const ExperimentConfig& config,
                                 std::size_t tasks) {
   const net::NetworkSpec actual = build_cluster(config);
-  const core::TransientSolver actual_solver(actual, config.workstations);
-  const core::TransientSolver exp_solver(actual.exponentialized(),
-                                         config.workstations);
+  const core::TransientSolver actual_solver(
+      cached_model(actual, config.workstations));
+  const core::TransientSolver exp_solver(
+      cached_model(actual.exponentialized(), config.workstations));
   return core::prediction_error_percent(actual_solver.makespan(tasks),
                                         exp_solver.makespan(tasks));
+}
+
+std::vector<double> cluster_prediction_error_grid(
+    const ExperimentConfig& config, std::span<const std::size_t> tasks) {
+  const net::NetworkSpec actual = build_cluster(config);
+  const core::TransientSolver actual_solver(
+      cached_model(actual, config.workstations));
+  const core::TransientSolver exp_solver(
+      cached_model(actual.exponentialized(), config.workstations));
+  const std::vector<double> actual_et = actual_solver.makespan_grid(tasks);
+  const std::vector<double> exp_et = exp_solver.makespan_grid(tasks);
+  std::vector<double> errors(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    errors[i] = core::prediction_error_percent(actual_et[i], exp_et[i]);
+  }
+  return errors;
 }
 
 io::Table interdeparture_series(const ExperimentConfig& base,
@@ -51,8 +91,8 @@ io::Table interdeparture_series(const ExperimentConfig& base,
   par::parallel_for(0, variants.size(), [&](std::size_t i) {
     ExperimentConfig config = base;
     config.shapes = variants[i].shapes;
-    const core::TransientSolver solver(build_cluster(config),
-                                       config.workstations);
+    const core::TransientSolver solver(
+        cached_model(build_cluster(config), config.workstations));
     timelines[i] = solver.solve(tasks);
   });
 
@@ -76,8 +116,8 @@ io::Table steady_state_vs_scv(const ExperimentConfig& base,
       config.shapes.remote_disk = ServiceShape::from_scv(scv_values[i]);
       config.contention =
           variant == 0 ? Contention::kShared : Contention::kNone;
-      const core::TransientSolver solver(build_cluster(config),
-                                         config.workstations);
+      const core::TransientSolver solver(
+          cached_model(build_cluster(config), config.workstations));
       rows[i][variant] = solver.steady_state().interdeparture;
     }
   });
@@ -89,36 +129,66 @@ io::Table steady_state_vs_scv(const ExperimentConfig& base,
 
 namespace {
 
+enum class ScvMetric { kPredictionError, kSpeedup };
+
 /// Shared sweep scaffold for the "metric vs C2 per N" figure families.
+/// Each C^2 value is one or two distinct models (built once through the
+/// cache and shared with every other point needing them) and the whole N
+/// grid of a model is harvested from a single recursion pass, so the sweep
+/// costs O(distinct models x one pass) instead of O(points x build+solve).
 io::Table metric_vs_scv(const ExperimentConfig& base,
                         const std::vector<double>& scv_values,
                         const std::vector<std::size_t>& task_counts,
                         const std::string& metric_name, bool cpu_shape,
-                        double (*metric)(const ExperimentConfig&, std::size_t)) {
+                        ScvMetric metric) {
   std::vector<std::string> headers{"C2"};
   for (std::size_t n : task_counts) {
     headers.push_back(metric_name + "_N" + std::to_string(n));
   }
   io::Table table(std::move(headers));
 
-  const std::size_t points = scv_values.size() * task_counts.size();
-  std::vector<double> values(points);
-  par::parallel_for(0, points, [&](std::size_t p) {
-    const std::size_t i = p / task_counts.size();
-    const std::size_t jn = p % task_counts.size();
+  // exponentialized() erases the swept shape (only the means survive), so
+  // every C^2 row compares against the SAME model — build it and harvest its
+  // N grid once, outside the row fan-out, instead of once per row.
+  std::vector<double> exponential_et;
+  if (metric == ScvMetric::kPredictionError) {
+    const core::TransientSolver expo(cached_model(
+        build_cluster(base).exponentialized(), base.workstations));
+    exponential_et = expo.makespan_grid(task_counts);
+  }
+
+  std::vector<std::vector<double>> values(scv_values.size());
+  par::parallel_for(0, scv_values.size(), [&](std::size_t i) {
     ExperimentConfig config = base;
     if (cpu_shape) {
       config.shapes.cpu = ServiceShape::from_scv(scv_values[i]);
     } else {
       config.shapes.remote_disk = ServiceShape::from_scv(scv_values[i]);
     }
-    values[p] = metric(config, task_counts[jn]);
+    switch (metric) {
+      case ScvMetric::kPredictionError: {
+        values[i] = cluster_makespan_grid(config, task_counts);
+        for (std::size_t jn = 0; jn < task_counts.size(); ++jn) {
+          values[i][jn] = core::prediction_error_percent(values[i][jn],
+                                                         exponential_et[jn]);
+        }
+        break;
+      }
+      case ScvMetric::kSpeedup: {
+        values[i] = cluster_makespan_grid(config, task_counts);
+        for (std::size_t jn = 0; jn < task_counts.size(); ++jn) {
+          values[i][jn] = core::speedup(
+              task_counts[jn], config.app.task_mean_time(), values[i][jn]);
+        }
+        break;
+      }
+    }
   });
 
   for (std::size_t i = 0; i < scv_values.size(); ++i) {
     std::vector<double> row{scv_values[i]};
     for (std::size_t jn = 0; jn < task_counts.size(); ++jn) {
-      row.push_back(values[i * task_counts.size() + jn]);
+      row.push_back(values[i][jn]);
     }
     table.add_row(row);
   }
@@ -131,21 +201,21 @@ io::Table prediction_error_vs_scv(const ExperimentConfig& base,
                                   const std::vector<double>& scv_values,
                                   const std::vector<std::size_t>& task_counts) {
   return metric_vs_scv(base, scv_values, task_counts, "E%", false,
-                       &cluster_prediction_error);
+                       ScvMetric::kPredictionError);
 }
 
 io::Table speedup_vs_scv(const ExperimentConfig& base,
                          const std::vector<double>& scv_values,
                          const std::vector<std::size_t>& task_counts) {
   return metric_vs_scv(base, scv_values, task_counts, "SP", false,
-                       &cluster_speedup);
+                       ScvMetric::kSpeedup);
 }
 
 io::Table prediction_error_vs_cpu_scv(
     const ExperimentConfig& base, const std::vector<double>& scv_values,
     const std::vector<std::size_t>& task_counts) {
   return metric_vs_scv(base, scv_values, task_counts, "E%", true,
-                       &cluster_prediction_error);
+                       ScvMetric::kPredictionError);
 }
 
 io::Table speedup_vs_k(const ExperimentConfig& base,
@@ -155,20 +225,22 @@ io::Table speedup_vs_k(const ExperimentConfig& base,
   for (std::size_t n : task_counts) headers.push_back("SP_N" + std::to_string(n));
   io::Table table(std::move(headers));
 
-  const std::size_t points = k_values.size() * task_counts.size();
-  std::vector<double> values(points);
-  par::parallel_for(0, points, [&](std::size_t p) {
-    const std::size_t i = p / task_counts.size();
-    const std::size_t jn = p % task_counts.size();
+  // One model per K; its whole N grid comes from a single pass.
+  std::vector<std::vector<double>> values(k_values.size());
+  par::parallel_for(0, k_values.size(), [&](std::size_t i) {
     ExperimentConfig config = base;
     config.workstations = k_values[i];
-    values[p] = cluster_speedup(config, task_counts[jn]);
+    values[i] = cluster_makespan_grid(config, task_counts);
+    for (std::size_t jn = 0; jn < task_counts.size(); ++jn) {
+      values[i][jn] = core::speedup(task_counts[jn],
+                                    config.app.task_mean_time(), values[i][jn]);
+    }
   });
 
   for (std::size_t i = 0; i < k_values.size(); ++i) {
     std::vector<double> row{static_cast<double>(k_values[i])};
     for (std::size_t jn = 0; jn < task_counts.size(); ++jn) {
-      row.push_back(values[i * task_counts.size() + jn]);
+      row.push_back(values[i][jn]);
     }
     table.add_row(row);
   }

@@ -7,6 +7,7 @@
 // Sweeps are parallelised over the sweep points with the global thread pool
 // (each point owns its solver; no shared mutable state).
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -30,9 +31,16 @@ struct ExperimentConfig {
 /// Build the NetworkSpec for a config.
 [[nodiscard]] net::NetworkSpec build_cluster(const ExperimentConfig& config);
 
-/// Total mean completion time E(T) of `tasks` tasks under a config.
+/// Total mean completion time E(T) of `tasks` tasks under a config.  The
+/// model is shared through core::ModelCache::global(), so repeated calls for
+/// the same cluster reuse its state space and factorizations.
 [[nodiscard]] double cluster_makespan(const ExperimentConfig& config,
                                       std::size_t tasks);
+
+/// E(T) for every workload size in `tasks` from one cached model and one
+/// pass of the epoch recursion (TransientSolver::makespan_grid).
+[[nodiscard]] std::vector<double> cluster_makespan_grid(
+    const ExperimentConfig& config, std::span<const std::size_t> tasks);
 
 /// Speedup versus serial execution: tasks * task_mean_time / E(T), where the
 /// task mean is the config's no-contention single-task time.
@@ -41,8 +49,15 @@ struct ExperimentConfig {
 
 /// The paper's exponential-assumption prediction error (%): compare the
 /// config against the same cluster with every service exponentialized.
+/// Both models come from the cache — across a C^2 sweep the exponentialized
+/// cluster is the SAME model for every C^2 value, so it is built once.
 [[nodiscard]] double cluster_prediction_error(const ExperimentConfig& config,
                                               std::size_t tasks);
+
+/// Prediction error (%) for every workload size in `tasks`: two cached
+/// models, one grid pass each.
+[[nodiscard]] std::vector<double> cluster_prediction_error_grid(
+    const ExperimentConfig& config, std::span<const std::size_t> tasks);
 
 /// One labelled variant of a shape sweep (e.g. "Exp", "H2 C2=10").
 struct ShapeVariant {

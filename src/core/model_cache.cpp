@@ -1,0 +1,426 @@
+#include "core/model_cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "check/invariants.h"
+#include "linalg/iterative.h"
+#include "network/network_spec.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
+#include "parallel/thread_pool.h"
+
+namespace finwork::core {
+
+// ---------------------------------------------------------------------------
+// ModelArtifacts
+// ---------------------------------------------------------------------------
+
+ModelArtifacts::ModelArtifacts(const net::NetworkSpec& spec,
+                               std::size_t workstations, SolverOptions options)
+    : space_(spec, workstations), k_(workstations), opts_(options) {
+  // Fail fast on networks whose first-passage times diverge.
+  spec.validate_connectivity();
+  levels_ = std::make_unique<Level[]>(k_ + 1);
+  if (opts_.prebuild_levels && !par::ThreadPool::on_worker_thread()) {
+    const obs::ObsSpan span("solver/prebuild_levels");
+    par::ThreadPool& pool = par::ThreadPool::global();
+    try {
+      // Levels big enough to parallelise their own assembly build inline,
+      // largest first, so the chunked triplet fan-out owns the pool; the
+      // small levels overlap with them as pool tasks.
+      constexpr std::size_t kInlineDim = 4096;
+      std::vector<std::size_t> inline_levels;
+      prebuild_.reserve(k_);
+      for (std::size_t k = 1; k <= k_; ++k) {
+        if (space_.dimension(k) < kInlineDim) {
+          prebuild_.push_back(
+              pool.submit([this, k] { (void)space_.level(k); }));
+        } else {
+          inline_levels.push_back(k);
+        }
+      }
+      for (auto it = inline_levels.rbegin(); it != inline_levels.rend();
+           ++it) {
+        (void)space_.level(*it);
+      }
+    } catch (...) {
+      // The pool tasks reference this object: never let the exception leave
+      // the constructor while they are still in flight.
+      for (auto& f : prebuild_) {
+        // NOLINTNEXTLINE(bugprone-empty-catch)
+        try {
+          f.get();
+        } catch (...) {
+        }
+      }
+      throw;
+    }
+  }
+}
+
+ModelArtifacts::~ModelArtifacts() {
+  for (auto& f : prebuild_) {
+    if (!f.valid()) continue;
+    // A failed prebuild leaves the level's once-flag unset, so the error
+    // resurfaces on first real use; here it only needs to be drained.
+    // NOLINTNEXTLINE(bugprone-empty-catch)
+    try {
+      f.get();
+    } catch (...) {
+    }
+  }
+}
+
+la::Vector ModelArtifacts::solve_right_on(const Level& lvl, std::size_t k,
+                                          const la::Vector& b) const {
+  if (lvl.lu) {
+    obs::counter_add(obs::Counter::kDenseSolves);
+    return lvl.lu->solve(b);
+  }
+  obs::counter_add(obs::Counter::kIterativeSolves);
+  const net::LevelMatrices& lm = space_.level(k);
+  par::ThreadPool& pool = par::ThreadPool::global();
+  // Column solve: (I - P) x = b via the Neumann series x = sum P^n b.
+  la::Vector x = b;
+  la::Vector term = b;
+  for (std::size_t n = 1; n <= opts_.max_neumann_iterations; ++n) {
+    term = lm.p.apply_parallel(term, pool);
+    x += term;
+    if (term.norm_inf() < opts_.tolerance) {
+      obs::counter_add(obs::Counter::kNeumannIterations, n);
+      return x;
+    }
+  }
+  obs::counter_add(obs::Counter::kNeumannIterations,
+                   opts_.max_neumann_iterations);
+  const auto apply_a = [&lm, &pool](const la::Vector& v) {
+    la::Vector y = v;
+    y -= lm.p.apply_parallel(v, pool);
+    return y;
+  };
+  la::IterativeResult res = la::bicgstab_left(apply_a, b, opts_.tolerance,
+                                              opts_.max_bicgstab_iterations);
+  if (!res.converged) {
+    throw std::runtime_error(
+        "ModelArtifacts: column solve failed to converge at level " +
+        std::to_string(k));
+  }
+  return std::move(res.x);
+}
+
+const ModelArtifacts::Level& ModelArtifacts::prepared_level(
+    std::size_t k) const {
+  if (k == 0 || k > k_) throw std::out_of_range("ModelArtifacts: bad level");
+  Level& lvl = levels_[k];
+  if (lvl.prepared.load(std::memory_order_acquire)) {
+    obs::counter_add(obs::Counter::kLuReuseHits);
+    return lvl;
+  }
+  std::call_once(lvl.once, [&] {
+    const obs::ObsSpan span("solver/prepare_level");
+    const net::LevelMatrices& lm = space_.level(k);
+    const std::size_t d = space_.dimension(k);
+    if (d <= opts_.dense_threshold) {
+      const obs::ObsSpan factor_span("solver/factorize_level");
+      la::Matrix a = lm.p.to_dense();
+      a *= -1.0;
+      for (std::size_t i = 0; i < d; ++i) a(i, i) += 1.0;
+      lvl.lu.emplace(a);
+    }
+    // tau'_k = (I - P_k)^-1 (M_k^-1 eps)
+    la::Vector rhs(d);
+    for (std::size_t i = 0; i < d; ++i) rhs[i] = 1.0 / lm.event_rates[i];
+    lvl.tau = solve_right_on(lvl, k, rhs);
+    if constexpr (check::kEnabled) {
+      // tau'_k = V_k eps: mean remaining epoch time per state — finite and
+      // positive, or the level's (I - P_k) solve went off the rails.
+      check::check_finite(lvl.tau, "tau'_k", k);
+      check::check_positive_rates(lvl.tau, "tau'_k", k);
+    }
+    lvl.prepared.store(true, std::memory_order_release);
+  });
+  return lvl;
+}
+
+const la::Vector& ModelArtifacts::tau(std::size_t k) const {
+  return prepared_level(k).tau;
+}
+
+la::Vector ModelArtifacts::solve_left(std::size_t k,
+                                      const la::Vector& pi) const {
+  const Level& lvl = prepared_level(k);
+  if (lvl.lu) {
+    obs::counter_add(obs::Counter::kDenseSolves);
+    return lvl.lu->solve_left(pi);
+  }
+  obs::counter_add(obs::Counter::kIterativeSolves);
+  const net::LevelMatrices& lm = space_.level(k);
+  par::ThreadPool& pool = par::ThreadPool::global();
+  const auto apply_p = [&lm, &pool](const la::Vector& x) {
+    return lm.p.apply_left_parallel(x, pool);
+  };
+  la::IterativeResult res = la::neumann_solve_left(
+      apply_p, pi, opts_.tolerance, opts_.max_neumann_iterations);
+  if (res.converged) return std::move(res.x);
+  const auto apply_a = [&lm, &pool](const la::Vector& x) {
+    la::Vector y = x;
+    y -= lm.p.apply_left_parallel(x, pool);
+    return y;
+  };
+  res = la::bicgstab_left(apply_a, pi, opts_.tolerance,
+                          opts_.max_bicgstab_iterations);
+  if (!res.converged) {
+    throw std::runtime_error(
+        "ModelArtifacts: iterative solve failed to converge at level " +
+        std::to_string(k));
+  }
+  return std::move(res.x);
+}
+
+la::Vector ModelArtifacts::solve_right(std::size_t k,
+                                       const la::Vector& b) const {
+  return solve_right_on(prepared_level(k), k, b);
+}
+
+const la::Matrix* ModelArtifacts::composite_operator(
+    std::size_t k, std::size_t expected_epochs) const {
+  if (!opts_.cache_composite) return nullptr;
+  const Level& lvl = prepared_level(k);
+  if (lvl.composite_ready.load(std::memory_order_acquire)) {
+    return &*lvl.composite;
+  }
+  if (!lvl.lu) return nullptr;  // iterative level: no factorization to reuse
+  const std::size_t d = space_.dimension(k);
+  // Building T_k costs d triangular-solve pairs — the same as d epochs of
+  // the uncached recursion — so only pay it when the run amortises it.
+  if (expected_epochs < std::max(d, opts_.composite_min_epochs)) {
+    return nullptr;
+  }
+  Level& mut = levels_[k];
+  const std::lock_guard<std::mutex> lock(mut.composite_mutex);
+  if (!mut.composite_ready.load(std::memory_order_relaxed)) {
+    const obs::ObsSpan span("solver/build_composite");
+    const net::LevelMatrices& lm = space_.level(k);
+    // Column c of Q_k R_k is Q_k (R_k e_c): two sparse column actions.
+    la::Matrix b(d, d, 0.0);
+    par::parallel_for(
+        par::ThreadPool::global(), 0, d,
+        [&](std::size_t c) {
+          const la::Vector col = lm.q.apply(lm.r.apply(la::unit(d, c)));
+          for (std::size_t r = 0; r < d; ++r) b(r, c) = col[r];
+        },
+        /*grain=*/16);
+    mut.composite.emplace(lvl.lu->solve_many(b));
+    mut.composite_ready.store(true, std::memory_order_release);
+  }
+  return &*mut.composite;
+}
+
+// ---------------------------------------------------------------------------
+// Canonical key + fingerprint
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_double(std::vector<std::uint8_t>& out, double v) {
+  // Bit-exact: 0.5 and 0.5000001 are different models; also distinguishes
+  // -0.0 from 0.0, which is fine — specs are built from the same literals.
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u64(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_vector(std::vector<std::uint8_t>& out, const la::Vector& v) {
+  put_u64(out, v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) put_double(out, v[i]);
+}
+
+void put_matrix(std::vector<std::uint8_t>& out, const la::Matrix& m) {
+  put_u64(out, m.rows());
+  put_u64(out, m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) put_double(out, m(r, c));
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> canonical_model_key(const net::NetworkSpec& spec,
+                                              std::size_t workstations,
+                                              const SolverOptions& options) {
+  std::vector<std::uint8_t> key;
+  key.reserve(256);
+  key.push_back(1);  // encoding version
+  put_u64(key, workstations);
+  put_u64(key, spec.num_stations());
+  for (const net::Station& st : spec.stations()) {
+    put_string(key, st.name);
+    put_u64(key, st.multiplicity);
+    put_string(key, st.service.name());
+    put_vector(key, st.service.entry());
+    put_matrix(key, st.service.rate_matrix());
+  }
+  put_vector(key, spec.entry());
+  put_matrix(key, spec.routing());
+  put_vector(key, spec.exit());
+  // Only the options that shape the built artifacts take part in the key;
+  // the per-query recursion controls (fast_forward etc.) do not.
+  put_u64(key, options.dense_threshold);
+  put_double(key, options.tolerance);
+  put_u64(key, options.max_neumann_iterations);
+  put_u64(key, options.max_bicgstab_iterations);
+  key.push_back(options.cache_composite ? 1 : 0);
+  put_u64(key, options.composite_min_epochs);
+  return key;
+}
+
+std::uint64_t model_fingerprint(std::span<const std::uint8_t> key) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a 64 offset basis
+  for (std::uint8_t b : key) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// ModelCache
+// ---------------------------------------------------------------------------
+
+ModelCache::ModelCache(std::size_t capacity, HashFn hash)
+    : capacity_(std::max<std::size_t>(1, capacity)),
+      hash_(hash != nullptr ? hash : &model_fingerprint) {}
+
+std::shared_ptr<const ModelArtifacts> ModelCache::acquire(
+    const net::NetworkSpec& spec, std::size_t workstations,
+    SolverOptions options) {
+  const obs::ObsSpan span("cache/acquire");
+  std::vector<std::uint8_t> key =
+      canonical_model_key(spec, workstations, options);
+  const std::uint64_t fp = hash_(key);
+
+  ModelFuture flight;
+  std::promise<std::shared_ptr<const ModelArtifacts>> build_promise;
+  std::list<Entry>::iterator my_entry;
+  bool builder = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto [first, last] = index_.equal_range(fp);
+    for (auto it = first; it != last; ++it) {
+      // Never hash-trust: a hit requires the full canonical key to match.
+      if (it->second->key == key) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        ++hits_;
+        obs::counter_add(obs::Counter::kModelCacheHits);
+        flight = it->second->model;
+        break;
+      }
+    }
+    if (!flight.valid()) {
+      ++misses_;
+      obs::counter_add(obs::Counter::kModelCacheMisses);
+      builder = true;
+      flight = build_promise.get_future().share();
+      lru_.push_front(Entry{std::move(key), fp, flight, /*ready=*/false});
+      my_entry = lru_.begin();
+      index_.emplace(fp, my_entry);
+    }
+  }
+
+  if (!builder) return flight.get();  // waiters block here during a flight
+
+  // Build outside the lock so concurrent acquires of *other* models proceed
+  // and waiters for this one just park on the shared future.  `my_entry`
+  // stays valid meanwhile: eviction and clear() both skip in-flight entries,
+  // and list iterators survive splicing.
+  try {
+    std::shared_ptr<const ModelArtifacts> model;
+    {
+      const obs::ObsSpan build_span("cache/build_model");
+      model = std::make_shared<const ModelArtifacts>(spec, workstations,
+                                                     options);
+    }
+    build_promise.set_value(model);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    my_entry->ready = true;
+    evict_over_capacity_locked();
+    return model;
+  } catch (...) {
+    build_promise.set_exception(std::current_exception());
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto [first, last] = index_.equal_range(fp);
+    for (auto ix = first; ix != last; ++ix) {
+      if (ix->second == my_entry) {
+        index_.erase(ix);
+        break;
+      }
+    }
+    lru_.erase(my_entry);
+    throw;
+  }
+}
+
+void ModelCache::evict_over_capacity_locked() {
+  auto it = lru_.end();
+  while (lru_.size() > capacity_ && it != lru_.begin()) {
+    --it;
+    if (!it->ready) continue;  // never evict an in-flight build
+    auto [first, last] = index_.equal_range(it->fingerprint);
+    for (auto ix = first; ix != last; ++ix) {
+      if (ix->second == it) {
+        index_.erase(ix);
+        break;
+      }
+    }
+    it = lru_.erase(it);
+    ++evictions_;
+    obs::counter_add(obs::Counter::kModelCacheEvictions);
+  }
+}
+
+ModelCacheStats ModelCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {hits_, misses_, evictions_, lru_.size(), capacity_};
+}
+
+void ModelCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // In-flight entries must survive: their builder will mark/erase them.
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (!it->ready) {
+      ++it;
+      continue;
+    }
+    auto [first, last] = index_.equal_range(it->fingerprint);
+    for (auto ix = first; ix != last; ++ix) {
+      if (ix->second == it) {
+        index_.erase(ix);
+        break;
+      }
+    }
+    it = lru_.erase(it);
+  }
+  hits_ = 0;
+  misses_ = 0;
+  evictions_ = 0;
+}
+
+ModelCache& ModelCache::global() {
+  static ModelCache cache;
+  return cache;
+}
+
+}  // namespace finwork::core

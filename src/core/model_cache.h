@@ -1,0 +1,176 @@
+#pragma once
+// Content-addressed sharing layer between model construction and query
+// evaluation.
+//
+// ModelArtifacts owns everything about a (NetworkSpec, K) pair that is
+// independent of the query: the reduced-product StateSpace, the per-level
+// LU factorization of (I - P_k), the per-level tau'_k vectors and the dense
+// saturated composite T_K.  It is immutable from the outside and safe to
+// share across threads — every lazily-built piece is published through a
+// once-flag or an acquire/release atomic — so any number of TransientSolver
+// instances (e.g. the points of a figure sweep running under parallel_for)
+// can evaluate the same model concurrently without rebuilding it.
+//
+// ModelCache maps a *canonical byte encoding* of the model inputs (station
+// shapes at double precision, routing, contention, K, and the numeric
+// backend options) to a shared ModelArtifacts.  Lookups hash the encoding
+// but NEVER trust the hash: a hit requires byte equality of the full key, so
+// a hash collision degrades to a miss-then-build, never to serving the wrong
+// model (tested with a deliberately colliding hash function).  Concurrent
+// requests for the same missing key are single-flighted: the first caller
+// builds, the rest block on the same shared future.  Capacity is bounded
+// with LRU eviction; evicted models stay alive for as long as any solver
+// still holds its shared_ptr.
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/transient_solver.h"
+#include "linalg/lu.h"
+#include "linalg/matrix.h"
+#include "network/state_space.h"
+
+namespace finwork::core {
+
+/// Immutable shared model: state space + per-level solve artifacts.
+///
+/// The solve primitives mirror TransientSolver's private helpers; the
+/// numeric backend knobs (dense_threshold, tolerance, iteration caps,
+/// composite gating) are fixed by the options passed at construction.
+class ModelArtifacts {
+ public:
+  ModelArtifacts(const net::NetworkSpec& spec, std::size_t workstations,
+                 SolverOptions options = {});
+  ~ModelArtifacts();
+  ModelArtifacts(const ModelArtifacts&) = delete;
+  ModelArtifacts& operator=(const ModelArtifacts&) = delete;
+  ModelArtifacts(ModelArtifacts&&) = delete;
+  ModelArtifacts& operator=(ModelArtifacts&&) = delete;
+
+  [[nodiscard]] const net::StateSpace& space() const noexcept { return space_; }
+  [[nodiscard]] std::size_t workstations() const noexcept { return k_; }
+  [[nodiscard]] const SolverOptions& options() const noexcept { return opts_; }
+
+  /// tau'_k = (I - P_k)^-1 M_k^-1 eps (built with the level on first use).
+  [[nodiscard]] const la::Vector& tau(std::size_t k) const;
+  /// x = pi (I - P_k)^-1 (row solve: dense LU or Neumann/BiCGSTAB).
+  [[nodiscard]] la::Vector solve_left(std::size_t k, const la::Vector& pi) const;
+  /// x = (I - P_k)^-1 b (column solve).
+  [[nodiscard]] la::Vector solve_right(std::size_t k, const la::Vector& b) const;
+  /// Cached dense composite T_k = (I - P_k)^-1 Q_k R_k, or nullptr when the
+  /// level is iterative, composite caching is off, or `expected_epochs`
+  /// would not amortise the build.  Once built it is returned for every
+  /// later call regardless of `expected_epochs`.
+  [[nodiscard]] const la::Matrix* composite_operator(
+      std::size_t k, std::size_t expected_epochs) const;
+
+ private:
+  // Per-level artifacts.  Non-movable (once_flag, mutex), so levels_ is a
+  // fixed array sized k_ + 1 at construction.
+  struct Level {
+    std::once_flag once;
+    std::atomic<bool> prepared{false};
+    std::optional<la::LuDecomposition> lu;
+    la::Vector tau;
+    // The composite's build gate depends on the caller's expected epoch
+    // count, so a plain call_once cannot express it: guard with a mutex and
+    // publish through an acquire/release flag.
+    std::mutex composite_mutex;
+    std::atomic<bool> composite_ready{false};
+    std::optional<la::Matrix> composite;
+  };
+
+  /// Factorize (I - P_k) and build tau'_k exactly once; returns the level
+  /// with `prepared` visible.
+  const Level& prepared_level(std::size_t k) const;
+  /// Column solve against an already-prepared level (no re-entry into
+  /// prepared_level — call_once would self-deadlock).
+  la::Vector solve_right_on(const Level& lvl, std::size_t k,
+                            const la::Vector& b) const;
+
+  net::StateSpace space_;
+  std::size_t k_;
+  SolverOptions opts_;
+  mutable std::unique_ptr<Level[]> levels_;
+  std::vector<std::future<void>> prebuild_;
+};
+
+/// Canonical byte encoding of the model inputs: a version tag, K, every
+/// station (name, multiplicity, entrance vector and rate matrix of its
+/// service distribution, bit-exact), the network's entry/routing/exit, and
+/// the numeric backend options that shape the artifacts.  Two models get
+/// the same key iff they are structurally identical and would build
+/// identical artifacts.
+[[nodiscard]] std::vector<std::uint8_t> canonical_model_key(
+    const net::NetworkSpec& spec, std::size_t workstations,
+    const SolverOptions& options = {});
+
+/// FNV-1a 64-bit fingerprint of a canonical key (stable across runs).
+[[nodiscard]] std::uint64_t model_fingerprint(
+    std::span<const std::uint8_t> key) noexcept;
+
+struct ModelCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t size = 0;      ///< models currently resident (incl. in-flight)
+  std::size_t capacity = 0;
+};
+
+/// Bounded, thread-safe, content-addressed cache of ModelArtifacts.
+class ModelCache {
+ public:
+  /// Test seam: replaces the fingerprint function (e.g. with a constant, to
+  /// force collisions and prove byte-equality fallback).
+  using HashFn = std::uint64_t (*)(std::span<const std::uint8_t>);
+
+  static constexpr std::size_t kDefaultCapacity = 32;
+
+  explicit ModelCache(std::size_t capacity = kDefaultCapacity,
+                      HashFn hash = nullptr);
+
+  /// Return the shared model for (spec, workstations, options), building it
+  /// at most once per distinct key across all concurrent callers.  A build
+  /// failure propagates to every waiter of that flight and leaves no cache
+  /// entry behind.
+  [[nodiscard]] std::shared_ptr<const ModelArtifacts> acquire(
+      const net::NetworkSpec& spec, std::size_t workstations,
+      SolverOptions options = {});
+
+  [[nodiscard]] ModelCacheStats stats() const;
+  /// Drop every entry (resident models survive via outstanding shared_ptrs).
+  void clear();
+
+  /// Process-wide cache used by the sweep drivers and the CLI.
+  [[nodiscard]] static ModelCache& global();
+
+ private:
+  using ModelFuture = std::shared_future<std::shared_ptr<const ModelArtifacts>>;
+  struct Entry {
+    std::vector<std::uint8_t> key;
+    std::uint64_t fingerprint = 0;
+    ModelFuture model;
+    bool ready = false;  ///< build finished; entry is evictable
+  };
+
+  void evict_over_capacity_locked();
+
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_multimap<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::size_t capacity_;
+  HashFn hash_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace finwork::core

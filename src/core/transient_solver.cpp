@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "check/invariants.h"
+#include "core/model_cache.h"
 #include "linalg/iterative.h"
 #include "linalg/parallel_blas.h"
 #include "obs/counters.h"
@@ -16,204 +18,53 @@ namespace finwork::core {
 TransientSolver::TransientSolver(const net::NetworkSpec& spec,
                                  std::size_t workstations,
                                  SolverOptions options)
-    : space_(spec, workstations), k_(workstations), opts_(options) {
-  // Fail fast on networks whose first-passage times diverge.
-  spec.validate_connectivity();
-  levels_.resize(k_ + 1);
-  if (opts_.prebuild_levels && !par::ThreadPool::on_worker_thread()) {
-    const obs::ObsSpan span("solver/prebuild_levels");
-    par::ThreadPool& pool = par::ThreadPool::global();
-    try {
-      // Levels big enough to parallelise their own assembly build inline,
-      // largest first, so the chunked triplet fan-out owns the pool; the
-      // small levels overlap with them as pool tasks.
-      constexpr std::size_t kInlineDim = 4096;
-      std::vector<std::size_t> inline_levels;
-      prebuild_.reserve(k_);
-      for (std::size_t k = 1; k <= k_; ++k) {
-        if (space_.dimension(k) < kInlineDim) {
-          prebuild_.push_back(
-              pool.submit([this, k] { (void)space_.level(k); }));
-        } else {
-          inline_levels.push_back(k);
-        }
-      }
-      for (auto it = inline_levels.rbegin(); it != inline_levels.rend();
-           ++it) {
-        (void)space_.level(*it);
-      }
-    } catch (...) {
-      // The pool tasks reference this object: never let the exception leave
-      // the constructor while they are still in flight.
-      for (auto& f : prebuild_) {
-        // NOLINTNEXTLINE(bugprone-empty-catch)
-        try {
-          f.get();
-        } catch (...) {
-        }
-      }
-      throw;
-    }
+    : model_(std::make_shared<const ModelArtifacts>(spec, workstations,
+                                                    options)),
+      k_(workstations),
+      opts_(options) {}
+
+TransientSolver::TransientSolver(std::shared_ptr<const ModelArtifacts> model,
+                                 SolverOptions options)
+    : model_(std::move(model)), k_(0), opts_(options) {
+  if (!model_) {
+    throw std::invalid_argument("TransientSolver: null model");
   }
+  k_ = model_->workstations();
 }
 
-TransientSolver::~TransientSolver() {
-  for (auto& f : prebuild_) {
-    if (!f.valid()) continue;
-    // A failed prebuild leaves the level's once-flag unset, so the error
-    // resurfaces on first real use; here it only needs to be drained.
-    // NOLINTNEXTLINE(bugprone-empty-catch)
-    try {
-      f.get();
-    } catch (...) {
-    }
-  }
-}
+TransientSolver::~TransientSolver() = default;
 
-const TransientSolver::Level& TransientSolver::prepared_level(
-    std::size_t k) const {
-  if (k == 0 || k > k_) throw std::out_of_range("TransientSolver: bad level");
-  Level& lvl = levels_[k];
-  if (lvl.prepared) {
-    obs::counter_add(obs::Counter::kLuReuseHits);
-    return lvl;
-  }
-  const obs::ObsSpan span("solver/prepare_level");
-  const net::LevelMatrices& lm = space_.level(k);
-  const std::size_t d = space_.dimension(k);
-  if (d <= opts_.dense_threshold) {
-    const obs::ObsSpan factor_span("solver/factorize_level");
-    la::Matrix a = lm.p.to_dense();
-    a *= -1.0;
-    for (std::size_t i = 0; i < d; ++i) a(i, i) += 1.0;
-    lvl.lu.emplace(a);
-  }
-  // tau'_k = (I - P_k)^-1 (M_k^-1 eps)
-  la::Vector rhs(d);
-  for (std::size_t i = 0; i < d; ++i) rhs[i] = 1.0 / lm.event_rates[i];
-  lvl.prepared = true;  // set before solve_right so it can use lvl.lu
-  lvl.tau = solve_right(k, rhs);
-  if constexpr (check::kEnabled) {
-    // tau'_k = V_k eps: mean remaining epoch time per state — finite and
-    // positive, or the level's (I - P_k) solve went off the rails.
-    check::check_finite(lvl.tau, "tau'_k", k);
-    check::check_positive_rates(lvl.tau, "tau'_k", k);
-  }
-  return lvl;
-}
-
-const la::Matrix* TransientSolver::composite_operator(
-    std::size_t k, std::size_t expected_epochs) const {
-  if (!opts_.cache_composite) return nullptr;
-  const Level& lvl = prepared_level(k);
-  if (lvl.composite) return &*lvl.composite;
-  if (!lvl.lu) return nullptr;  // iterative level: no factorization to reuse
-  const std::size_t d = space_.dimension(k);
-  // Building T_k costs d triangular-solve pairs — the same as d epochs of
-  // the uncached recursion — so only pay it when the run amortises it.
-  if (expected_epochs < std::max(d, opts_.composite_min_epochs)) {
-    return nullptr;
-  }
-  const obs::ObsSpan span("solver/build_composite");
-  const net::LevelMatrices& lm = space_.level(k);
-  // Column c of Q_k R_k is Q_k (R_k e_c): two sparse column actions.
-  la::Matrix b(d, d, 0.0);
-  par::parallel_for(
-      par::ThreadPool::global(), 0, d,
-      [&](std::size_t c) {
-        const la::Vector col = lm.q.apply(lm.r.apply(la::unit(d, c)));
-        for (std::size_t r = 0; r < d; ++r) b(r, c) = col[r];
-      },
-      /*grain=*/16);
-  Level& mut = levels_[k];
-  mut.composite.emplace(lvl.lu->solve_many(b));
-  return &*mut.composite;
+const net::StateSpace& TransientSolver::space() const noexcept {
+  return model_->space();
 }
 
 la::Vector TransientSolver::solve_left(std::size_t k,
                                        const la::Vector& pi) const {
-  const Level& lvl = prepared_level(k);
-  if (lvl.lu) {
-    obs::counter_add(obs::Counter::kDenseSolves);
-    return lvl.lu->solve_left(pi);
-  }
-  obs::counter_add(obs::Counter::kIterativeSolves);
-  const net::LevelMatrices& lm = space_.level(k);
-  par::ThreadPool& pool = par::ThreadPool::global();
-  const auto apply_p = [&lm, &pool](const la::Vector& x) {
-    return lm.p.apply_left_parallel(x, pool);
-  };
-  la::IterativeResult res = la::neumann_solve_left(
-      apply_p, pi, opts_.tolerance, opts_.max_neumann_iterations);
-  if (res.converged) return std::move(res.x);
-  const auto apply_a = [&lm, &pool](const la::Vector& x) {
-    la::Vector y = x;
-    y -= lm.p.apply_left_parallel(x, pool);
-    return y;
-  };
-  res = la::bicgstab_left(apply_a, pi, opts_.tolerance,
-                          opts_.max_bicgstab_iterations);
-  if (!res.converged) {
-    throw std::runtime_error(
-        "TransientSolver: iterative solve failed to converge at level " +
-        std::to_string(k));
-  }
-  return std::move(res.x);
+  return model_->solve_left(k, pi);
 }
 
 la::Vector TransientSolver::solve_right(std::size_t k,
                                         const la::Vector& b) const {
-  const Level& lvl = prepared_level(k);
-  if (lvl.lu) {
-    obs::counter_add(obs::Counter::kDenseSolves);
-    return lvl.lu->solve(b);
-  }
-  obs::counter_add(obs::Counter::kIterativeSolves);
-  const net::LevelMatrices& lm = space_.level(k);
-  par::ThreadPool& pool = par::ThreadPool::global();
-  // Column solve: (I - P) x = b via the Neumann series x = sum P^n b.
-  la::Vector x = b;
-  la::Vector term = b;
-  for (std::size_t n = 1; n <= opts_.max_neumann_iterations; ++n) {
-    term = lm.p.apply_parallel(term, pool);
-    x += term;
-    if (term.norm_inf() < opts_.tolerance) {
-      obs::counter_add(obs::Counter::kNeumannIterations, n);
-      return x;
-    }
-  }
-  obs::counter_add(obs::Counter::kNeumannIterations,
-                   opts_.max_neumann_iterations);
-  // Fall back to BiCGSTAB on the transposed system: (I - P)^T y = ... not
-  // needed; run BiCGSTAB with the column action expressed as a row action on
-  // the transpose.  CSR supports both actions, so wire it directly.
-  const auto apply_at = [&lm, &pool](const la::Vector& v) {
-    la::Vector y = v;
-    y -= lm.p.apply_parallel(v, pool);
-    return y;
-  };
-  la::IterativeResult res = la::bicgstab_left(apply_at, b, opts_.tolerance,
-                                              opts_.max_bicgstab_iterations);
-  if (!res.converged) {
-    throw std::runtime_error(
-        "TransientSolver: column solve failed to converge at level " +
-        std::to_string(k));
-  }
-  return std::move(res.x);
+  return model_->solve_right(k, b);
+}
+
+std::size_t TransientSolver::composite_break_even(std::size_t level) const {
+  return std::max(space().dimension(level), opts_.composite_min_epochs);
 }
 
 const la::Vector& TransientSolver::tau(std::size_t k) const {
-  return prepared_level(k).tau;
+  return model_->tau(k);
 }
 
 la::Vector TransientSolver::apply_y(std::size_t k, const la::Vector& pi) const {
-  const net::LevelMatrices& lm = space_.level(k);
+  const net::LevelMatrices& lm = space().level(k);
   return lm.q.apply_left_parallel(solve_left(k, pi),
                                   par::ThreadPool::global());
 }
 
 la::Vector TransientSolver::apply_r(std::size_t k, const la::Vector& pi) const {
-  return space_.level(k).r.apply_left_parallel(pi, par::ThreadPool::global());
+  return space().level(k).r.apply_left_parallel(pi,
+                                                par::ThreadPool::global());
 }
 
 double TransientSolver::mean_epoch_time(std::size_t k,
@@ -224,7 +75,7 @@ double TransientSolver::mean_epoch_time(std::size_t k,
 double TransientSolver::epoch_second_moment(std::size_t k,
                                             const la::Vector& pi) const {
   // E[T^2 | pi] = 2 pi V_k^2 eps = 2 pi V_k tau'_k; one extra column solve.
-  const net::LevelMatrices& lm = space_.level(k);
+  const net::LevelMatrices& lm = space().level(k);
   la::Vector rhs = tau(k);
   for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] /= lm.event_rates[i];
   return 2.0 * la::dot(pi, solve_right(k, rhs));
@@ -239,7 +90,7 @@ double TransientSolver::epoch_reliability(std::size_t k, const la::Vector& pi,
   // Uniformization of the level generator A = -B_k = -M_k (I - P_k):
   // with q >= max rate, Pu = I + A/q acts on a row vector v as
   //   v Pu = v - (v .* M)/q + ((v .* M) P)/q.
-  const net::LevelMatrices& lm = space_.level(k);
+  const net::LevelMatrices& lm = space().level(k);
   const double q = lm.max_event_rate * 1.0001;
   const double qt = q * t;
   par::ThreadPool& pool = par::ThreadPool::global();
@@ -274,7 +125,7 @@ double TransientSolver::epoch_reliability(std::size_t k, const la::Vector& pi,
 }
 
 la::Vector TransientSolver::initial_vector() const {
-  return space_.initial_vector(k_);
+  return space().initial_vector(k_);
 }
 
 DepartureTimeline TransientSolver::solve(std::size_t tasks) const {
@@ -288,18 +139,26 @@ DepartureTimeline TransientSolver::solve(std::size_t tasks) const {
   tl.epoch_times.reserve(tasks);
   tl.population.reserve(tasks);
 
+  const net::StateSpace& sp = space();
   const std::size_t top = std::min(tasks, k_);
-  la::Vector pi = space_.initial_vector(top);
+  la::Vector pi = sp.initial_vector(top);
 
   // Saturated phase: population pinned at `top`, departures replaced from the
   // queue.  Runs for (tasks - top + 1) epochs; after each but the last, the
   // departure (Y) is followed by a replacement (R).
   const std::size_t saturated_epochs = tasks - top + 1;
+  // With fast-forward off the epoch count is exact, so the composite
+  // amortization decision is made up front.  With it on, mixing usually ends
+  // the phase orders of magnitude before N - K epochs, so the build is
+  // deferred until the recursion has actually run break-even many epochs
+  // and at least as many provably remain.
   const la::Matrix* composite =
-      saturated_epochs > 1 ? composite_operator(top, saturated_epochs - 1)
-                           : nullptr;
+      (!opts_.fast_forward && saturated_epochs > 1)
+          ? model_->composite_operator(top, saturated_epochs - 1)
+          : nullptr;
+  const std::size_t break_even = composite_break_even(top);
   par::ThreadPool& pool = par::ThreadPool::global();
-  const net::LevelMatrices& lt = space_.level(top);
+  const net::LevelMatrices& lt = sp.level(top);
   // Iterative-path warm start: w = pi (I - P_top)^-1 is carried across
   // epochs and updated by solving for the increment only.  The iterates mix
   // geometrically, so the increment — and with it the Neumann work of each
@@ -327,6 +186,10 @@ DepartureTimeline TransientSolver::solve(std::size_t tasks) const {
     tl.epoch_times.push_back(mean_epoch_time(top, pi));
     tl.population.push_back(top);
     if (i + 1 == saturated_epochs) break;
+    if (composite == nullptr && opts_.fast_forward && i == break_even &&
+        saturated_epochs - 1 - i >= break_even) {
+      composite = model_->composite_operator(top, saturated_epochs - 1 - i);
+    }
     prev = pi;
     pi = advance(pi);
     if (opts_.fast_forward) {
@@ -383,6 +246,132 @@ double TransientSolver::makespan(std::size_t tasks) const {
   return solve(tasks).makespan;
 }
 
+std::vector<double> TransientSolver::makespan_grid(
+    std::span<const std::size_t> tasks) const {
+  if (tasks.empty()) return {};
+  for (std::size_t n : tasks) {
+    if (n == 0) {
+      throw std::invalid_argument("makespan_grid: need >= 1 task");
+    }
+  }
+  const obs::ObsSpan span("solver/makespan_grid");
+  obs::counter_add(obs::Counter::kGridPointsPerPass, tasks.size());
+  std::vector<double> results(tasks.size(), 0.0);
+  const net::StateSpace& sp = space();
+
+  // Depth of the drain recursion: level K when any workload saturates, else
+  // the largest sub-K workload.
+  bool any_large = false;
+  std::size_t h_top = 0;
+  for (std::size_t n : tasks) {
+    if (n >= k_) {
+      any_large = true;
+    } else {
+      h_top = std::max(h_top, n);
+    }
+  }
+  if (any_large) h_top = k_;
+
+  // Drain vectors: h_t[s] is the mean remaining completion time starting in
+  // state s of Xi_t with no admissions left, the column-recursion mirror of
+  // the draining phase of solve():
+  //   h_t = tau'_t + (I - P_t)^-1 Q_t h_{t-1},   h_0 = 0.
+  // One column solve per level, shared by every harvested workload.
+  std::vector<la::Vector> h(h_top + 1);
+  h[0] = la::Vector(sp.dimension(0), 0.0);
+  for (std::size_t t = 1; t <= h_top; ++t) {
+    h[t] = tau(t) + solve_right(t, sp.level(t).q.apply(h[t - 1]));
+  }
+
+  // Workloads below K never saturate: the whole run is a drain from level N.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (tasks[i] < k_) {
+      results[i] = la::dot(sp.initial_vector(tasks[i]), h[tasks[i]]);
+    }
+  }
+  if (!any_large) return results;
+
+  // Saturating workloads: N = K + j needs j advances of the epoch recursion;
+  // harvested at iterate j as E(T) = prefix_j + pi_j h_K, where prefix_j is
+  // the mean time of the j epochs already closed.  One pass to the largest j
+  // serves every point.
+  std::vector<std::pair<std::size_t, std::size_t>> targets;  // (j, output)
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (tasks[i] >= k_) targets.emplace_back(tasks[i] - k_, i);
+  }
+  std::sort(targets.begin(), targets.end());
+  const std::size_t j_max = targets.back().first;
+
+  la::Vector pi = sp.initial_vector(k_);
+  // Same deferred-build policy as solve(): see the comment there.
+  const la::Matrix* composite =
+      (!opts_.fast_forward && j_max > 0)
+          ? model_->composite_operator(k_, j_max)
+          : nullptr;
+  const std::size_t break_even = composite_break_even(k_);
+  par::ThreadPool& pool = par::ThreadPool::global();
+  const net::LevelMatrices& lt = sp.level(k_);
+  const la::Vector& h_k = h[k_];
+  la::Vector w;
+  la::Vector last_solved;
+  const auto advance = [&](const la::Vector& cur) {
+    if (composite != nullptr) {
+      return la::multiply_left_parallel(cur, *composite, pool);
+    }
+    if (w.empty()) {
+      w = solve_left(k_, cur);
+    } else {
+      la::Vector rhs = cur;
+      rhs -= last_solved;
+      w += solve_left(k_, rhs);
+    }
+    last_solved = cur;
+    return apply_r(k_, lt.q.apply_left_parallel(w, pool));
+  };
+
+  auto next_target = targets.begin();
+  la::Vector prev;
+  double prefix = 0.0;
+  for (std::size_t j = 0;; ++j) {
+    const double harvest = la::dot(pi, h_k);
+    while (next_target != targets.end() && next_target->first == j) {
+      results[next_target->second] = prefix + harvest;
+      ++next_target;
+    }
+    if (next_target == targets.end()) break;
+    if (composite == nullptr && opts_.fast_forward && j == break_even &&
+        j_max - j >= break_even) {
+      composite = model_->composite_operator(k_, j_max - j);
+    }
+    const obs::ObsSpan epoch_span("solver/epoch");
+    obs::counter_add(obs::Counter::kEpochRecursions);
+    prefix += la::dot(pi, tau(k_));
+    prev = pi;
+    pi = advance(pi);
+    if (opts_.fast_forward) {
+      double delta = 0.0;
+      for (std::size_t s = 0; s < pi.size(); ++s) {
+        delta = std::max(delta, std::abs(pi[s] - prev[s]));
+      }
+      if (delta < opts_.fast_forward_tolerance) {
+        // Mixed at iterate j+1: every later epoch departs from this same
+        // distribution, so each remaining point closes in O(1) —
+        //   E(T)(K + J) = prefix_{j+1} + (J - j - 1) t_ss + pi h_K.
+        const double t_ss = la::dot(pi, tau(k_));
+        const double tail = la::dot(pi, h_k);
+        obs::counter_add(obs::Counter::kFastForwardActivations);
+        obs::counter_add(obs::Counter::kEpochsSkipped, j_max - j - 1);
+        for (; next_target != targets.end(); ++next_target) {
+          const auto r = static_cast<double>(next_target->first - j - 1);
+          results[next_target->second] = prefix + r * t_ss + tail;
+        }
+        break;
+      }
+    }
+  }
+  return results;
+}
+
 MakespanMoments TransientSolver::makespan_moments(std::size_t tasks) const {
   if (tasks == 0) {
     throw std::invalid_argument("makespan_moments: need >= 1 task");
@@ -397,18 +386,19 @@ MakespanMoments TransientSolver::makespan_moments(std::size_t tasks) const {
   // block at a time using the cached per-level factorizations:
   //   m1_b = tau_b + (I-P)^-1 Q [R] m1_next
   //   x_b  = V_b m1_b + (I-P)^-1 Q [R] x_next,   m2 = 2 x.
+  const net::StateSpace& sp = space();
   const std::size_t top = std::min(tasks, k_);
 
   // Column-oriented helpers.
   const auto v_apply = [&](std::size_t k, const la::Vector& m) {
-    const net::LevelMatrices& lm = space_.level(k);
+    const net::LevelMatrices& lm = sp.level(k);
     la::Vector rhs = m;
     for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] /= lm.event_rates[i];
     return solve_right(k, rhs);
   };
   const auto flow_apply = [&](std::size_t k, const la::Vector& next) {
     // (I - P_k)^-1 Q_k next  (next lives one level down)
-    return solve_right(k, space_.level(k).q.apply(next));
+    return solve_right(k, sp.level(k).q.apply(next));
   };
 
   // Draining levels 1..top-1 (remaining time after the queue has emptied).
@@ -422,10 +412,15 @@ MakespanMoments TransientSolver::makespan_moments(std::size_t tasks) const {
   }
 
   // Saturated segments: j admissions remaining, j = 0 .. tasks - top.
-  const net::LevelMatrices& lt = space_.level(top);
+  const net::LevelMatrices& lt = sp.level(top);
   const std::size_t total_j = tasks - top;
+  // Deferred-build policy as in solve(); each admission applies T twice
+  // (m1 and x), so the break-even point arrives in half the iterations.
   const la::Matrix* composite =
-      total_j > 0 ? composite_operator(top, total_j) : nullptr;
+      (!opts_.fast_forward && total_j > 0)
+          ? model_->composite_operator(top, total_j)
+          : nullptr;
+  const std::size_t defer_at = composite_break_even(top) / 2 + 1;
   par::ThreadPool& pool = par::ThreadPool::global();
   // One admission step of both recursions is the column action of
   // T = (I - P)^-1 Q R; use the cached dense composite when available.
@@ -439,6 +434,10 @@ MakespanMoments TransientSolver::makespan_moments(std::size_t tasks) const {
   la::Vector e_prev;  // previous first difference of x
   la::Vector f_prev;  // previous second difference of x
   for (std::size_t j = 1; j <= total_j; ++j) {
+    if (composite == nullptr && opts_.fast_forward && j == defer_at &&
+        total_j - j + 1 >= defer_at) {
+      composite = model_->composite_operator(top, 2 * (total_j - j + 1));
+    }
     la::Vector m1_new = tau(top) + t_apply(m1);
     la::Vector x_new = v_apply(top, m1_new) + t_apply(x);
     la::Vector d = m1_new;
@@ -485,7 +484,7 @@ MakespanMoments TransientSolver::makespan_moments(std::size_t tasks) const {
     e_prev = std::move(e);
   }
 
-  const la::Vector p0 = space_.initial_vector(top);
+  const la::Vector p0 = sp.initial_vector(top);
   MakespanMoments mm;
   mm.mean = la::dot(p0, m1);
   mm.second_moment = 2.0 * la::dot(p0, x);
@@ -493,6 +492,162 @@ MakespanMoments TransientSolver::makespan_moments(std::size_t tasks) const {
   mm.std_dev = std::sqrt(std::max(0.0, mm.variance));
   mm.scv = mm.variance / (mm.mean * mm.mean);
   return mm;
+}
+
+std::vector<MakespanMoments> TransientSolver::makespan_moments_grid(
+    std::span<const std::size_t> tasks) const {
+  if (tasks.empty()) return {};
+  for (std::size_t n : tasks) {
+    if (n == 0) {
+      throw std::invalid_argument("makespan_moments_grid: need >= 1 task");
+    }
+  }
+  const obs::ObsSpan span("solver/makespan_moments_grid");
+  obs::counter_add(obs::Counter::kGridPointsPerPass, tasks.size());
+  std::vector<MakespanMoments> results(tasks.size());
+  const net::StateSpace& sp = space();
+
+  const auto v_apply = [&](std::size_t k, const la::Vector& m) {
+    const net::LevelMatrices& lm = sp.level(k);
+    la::Vector rhs = m;
+    for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] /= lm.event_rates[i];
+    return solve_right(k, rhs);
+  };
+  const auto flow_apply = [&](std::size_t k, const la::Vector& next) {
+    return solve_right(k, sp.level(k).q.apply(next));
+  };
+  const auto fill = [](MakespanMoments& mm, double mean, double x_val) {
+    mm.mean = mean;
+    mm.second_moment = 2.0 * x_val;
+    mm.variance = mm.second_moment - mm.mean * mm.mean;
+    mm.std_dev = std::sqrt(std::max(0.0, mm.variance));
+    mm.scv = mm.variance / (mm.mean * mm.mean);
+  };
+
+  // Workloads below K are whole-run drains: level N of the draining
+  // back-substitution IS workload N's remaining-time system, so harvest each
+  // on the way up.
+  bool any_large = false;
+  std::size_t loop_top = 0;
+  for (std::size_t n : tasks) {
+    if (n >= k_) {
+      any_large = true;
+    } else {
+      loop_top = std::max(loop_top, n);
+    }
+  }
+  if (any_large) loop_top = k_ > 0 ? k_ - 1 : 0;
+
+  la::Vector m1_next(1, 0.0);
+  la::Vector x_next(1, 0.0);
+  for (std::size_t k = 1; k <= loop_top; ++k) {
+    la::Vector m1 = tau(k) + flow_apply(k, m1_next);
+    la::Vector x = v_apply(k, m1) + flow_apply(k, x_next);
+    bool wanted = false;
+    for (std::size_t n : tasks) wanted = wanted || (n == k && n < k_);
+    if (wanted) {
+      const la::Vector p0 = sp.initial_vector(k);
+      const double mean = la::dot(p0, m1);
+      const double x_val = la::dot(p0, x);
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        if (tasks[i] == k) fill(results[i], mean, x_val);
+      }
+    }
+    m1_next = std::move(m1);
+    x_next = std::move(x);
+  }
+  if (!any_large) return results;
+
+  // Saturating workloads N = K + j: one admission loop to the largest j,
+  // harvesting dot products at each requested iterate.
+  std::vector<std::pair<std::size_t, std::size_t>> targets;  // (j, output)
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (tasks[i] >= k_) targets.emplace_back(tasks[i] - k_, i);
+  }
+  std::sort(targets.begin(), targets.end());
+  const std::size_t j_max = targets.back().first;
+
+  const net::LevelMatrices& lt = sp.level(k_);
+  // Deferred-build policy as in makespan_moments.
+  const la::Matrix* composite =
+      (!opts_.fast_forward && j_max > 0)
+          ? model_->composite_operator(k_, j_max)
+          : nullptr;
+  const std::size_t defer_at = composite_break_even(k_) / 2 + 1;
+  par::ThreadPool& pool = par::ThreadPool::global();
+  const auto t_apply = [&](const la::Vector& v) {
+    if (composite != nullptr) return la::multiply_parallel(*composite, v, pool);
+    return solve_right(k_, lt.q.apply(lt.r.apply(v)));
+  };
+  const la::Vector p0 = sp.initial_vector(k_);
+  la::Vector m1 = tau(k_) + flow_apply(k_, m1_next);
+  la::Vector x = v_apply(k_, m1) + flow_apply(k_, x_next);
+  auto next_target = targets.begin();
+  const auto harvest = [&](std::size_t j) {
+    while (next_target != targets.end() && next_target->first == j) {
+      fill(results[next_target->second], la::dot(p0, m1), la::dot(p0, x));
+      ++next_target;
+    }
+  };
+  harvest(0);
+  la::Vector d_prev;
+  la::Vector e_prev;
+  la::Vector f_prev;
+  for (std::size_t j = 1; next_target != targets.end(); ++j) {
+    if (composite == nullptr && opts_.fast_forward && j == defer_at &&
+        j_max - j + 1 >= defer_at) {
+      composite = model_->composite_operator(k_, 2 * (j_max - j + 1));
+    }
+    la::Vector m1_new = tau(k_) + t_apply(m1);
+    la::Vector x_new = v_apply(k_, m1_new) + t_apply(x);
+    la::Vector d = m1_new;
+    d -= m1;
+    la::Vector e = x_new;
+    e -= x;
+    m1 = std::move(m1_new);
+    x = std::move(x_new);
+    harvest(j);
+    if (next_target == targets.end()) break;
+
+    if (opts_.fast_forward && j >= 3) {
+      la::Vector dd = d;
+      dd -= d_prev;
+      la::Vector f = e;
+      f -= e_prev;
+      la::Vector ff = f;
+      ff -= f_prev;
+      const double tol = opts_.fast_forward_moment_tolerance;
+      const double noise_floor = 4.0 * 2.220446049250313e-16 * x.norm_inf();
+      if (dd.norm_inf() <= tol * d.norm_inf() &&
+          ff.norm_inf() <= tol * f.norm_inf() + noise_floor) {
+        // Mixed: the same closed forms makespan_moments uses, applied per
+        // point by linearity of the p0 dot product —
+        //   mean(K+J) = p0 m1 + R p0 d,
+        //   x(K+J)    = p0 x + R p0 e + R(R+1)/2 p0 f,   R = J - j.
+        const double mean_j = la::dot(p0, m1);
+        const double x_j = la::dot(p0, x);
+        const double d_s = la::dot(p0, d);
+        const double e_s = la::dot(p0, e);
+        const double f_s = la::dot(p0, f);
+        obs::counter_add(obs::Counter::kFastForwardActivations);
+        obs::counter_add(obs::Counter::kEpochsSkipped, j_max - j);
+        for (; next_target != targets.end(); ++next_target) {
+          const auto r = static_cast<double>(next_target->first - j);
+          fill(results[next_target->second], mean_j + r * d_s,
+               x_j + r * e_s + 0.5 * r * (r + 1.0) * f_s);
+        }
+        break;
+      }
+      f_prev = std::move(f);
+    } else if (opts_.fast_forward && j >= 2) {
+      la::Vector f = e;
+      f -= e_prev;
+      f_prev = std::move(f);
+    }
+    d_prev = std::move(d);
+    e_prev = std::move(e);
+  }
+  return results;
 }
 
 std::vector<double> TransientSolver::makespan_cdf(
@@ -505,6 +660,7 @@ std::vector<double> TransientSolver::makespan_cdf(
   }
   if (times.empty()) return {};
   const obs::ObsSpan span("solver/makespan_cdf");
+  const net::StateSpace& sp = space();
   const std::size_t top = std::min(tasks, k_);
 
   // Layered blocks: saturated segments with j admissions remaining
@@ -526,7 +682,7 @@ std::vector<double> TransientSolver::makespan_cdf(
   // per level at build time).
   double q = 0.0;
   for (std::size_t level = 1; level <= top; ++level) {
-    q = std::max(q, space_.level(level).max_event_rate);
+    q = std::max(q, sp.level(level).max_event_rate);
   }
   q *= 1.0001;
 
@@ -538,7 +694,7 @@ std::vector<double> TransientSolver::makespan_cdf(
   // DTMC pass: track per-block row vectors and record the absorbed mass
   // after each uniformized step.  All working buffers are sized once up
   // front and reused every step.
-  const net::LevelMatrices& ltop = space_.level(top);
+  const net::LevelMatrices& ltop = sp.level(top);
   par::ThreadPool& pool = par::ThreadPool::global();
   std::vector<la::Vector> state(blocks.size());
   std::vector<la::Vector> next(blocks.size());
@@ -546,16 +702,16 @@ std::vector<double> TransientSolver::makespan_cdf(
   std::vector<la::Vector> out(blocks.size());
   std::vector<la::Vector> handoff(blocks.size());
   for (std::size_t b = 0; b < blocks.size(); ++b) {
-    const std::size_t d = space_.dimension(blocks[b].level);
+    const std::size_t d = sp.dimension(blocks[b].level);
     state[b] = la::Vector(d, 0.0);
     next[b] = la::Vector(d, 0.0);
     scaled[b] = la::Vector(d, 0.0);
-    out[b] = la::Vector(space_.dimension(blocks[b].level - 1), 0.0);
+    out[b] = la::Vector(sp.dimension(blocks[b].level - 1), 0.0);
     if (blocks[b].replace) {
-      handoff[b] = la::Vector(space_.dimension(top), 0.0);
+      handoff[b] = la::Vector(sp.dimension(top), 0.0);
     }
   }
-  state[0] = space_.initial_vector(top);
+  state[0] = sp.initial_vector(top);
   double absorbed = 0.0;
   std::vector<double> absorbed_after{absorbed};  // a_0
   absorbed_after.reserve(n_max + 1);
@@ -566,7 +722,7 @@ std::vector<double> TransientSolver::makespan_cdf(
   // fan-out stays deterministic.  `inner_parallel` picks pooled CSR
   // actions when the blocks themselves run serially.
   const auto step_block = [&](std::size_t b, bool inner_parallel) {
-    const net::LevelMatrices& lm = space_.level(blocks[b].level);
+    const net::LevelMatrices& lm = sp.level(blocks[b].level);
     const la::Vector& st = state[b];
     la::Vector& sc = scaled[b];
     for (std::size_t i = 0; i < sc.size(); ++i) {
@@ -683,17 +839,18 @@ TransientSolver::station_occupancy(std::size_t k, const la::Vector& pi) const {
   if (k == 0 || k > k_) {
     throw std::out_of_range("station_occupancy: bad level");
   }
-  if (pi.size() != space_.dimension(k)) {
+  const net::StateSpace& sp = space();
+  if (pi.size() != sp.dimension(k)) {
     throw std::invalid_argument("station_occupancy: size mismatch");
   }
-  const std::size_t s = space_.num_stations();
+  const std::size_t s = sp.num_stations();
   std::vector<StationOccupancy> occ(s);
-  const auto& states = space_.states(k);
+  const auto& states = sp.states(k);
   for (std::size_t is = 0; is < states.size(); ++is) {
     const double w = pi[is];
     if (w == 0.0) continue;
     for (std::size_t j = 0; j < s; ++j) {
-      const net::StationModel& model = space_.model(j);
+      const net::StationModel& model = sp.model(j);
       const auto [n, local] = model.decode(states[is][j]);
       occ[j].mean_customers += w * static_cast<double>(n);
       const auto counts = model.phase_counts(n, local);
@@ -705,7 +862,7 @@ TransientSolver::station_occupancy(std::size_t k, const la::Vector& pi) const {
   for (std::size_t j = 0; j < s; ++j) {
     occ[j].utilization =
         occ[j].mean_in_service /
-        static_cast<double>(space_.spec().station(j).multiplicity);
+        static_cast<double>(sp.spec().station(j).multiplicity);
   }
   return occ;
 }
@@ -716,7 +873,7 @@ TransientSolver::DepartureCorrelation TransientSolver::steady_state_lag1()
   // int t e^{-Bt} dt = B^-2 and Y = V M Q), the joint mean is
   // E[T1 T2] = p_ss V Y R tau'.  All factors act column-wise on tau'.
   const SteadyStateResult& ss = steady_state();
-  const net::LevelMatrices& lm = space_.level(k_);
+  const net::LevelMatrices& lm = space().level(k_);
   // z = R tau'
   const la::Vector z = lm.r.apply(tau(k_));
   // w = Y z = (I - P)^-1 Q z
@@ -741,7 +898,7 @@ const la::Vector& TransientSolver::time_stationary_distribution() const {
   // The saturated CTMC has off-diagonal rate matrix M (P + Q R).  With
   // z = pi .* M, stationarity reads z (P + Q R) = z: find z by (damped)
   // power iteration, then unscale by the rates and normalize.
-  const net::LevelMatrices& lm = space_.level(k_);
+  const net::LevelMatrices& lm = space().level(k_);
   par::ThreadPool& pool = par::ThreadPool::global();
   const auto apply_jump = [&](const la::Vector& z) {
     la::Vector next = lm.p.apply_left_parallel(z, pool);

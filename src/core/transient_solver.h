@@ -10,11 +10,16 @@
 // Small levels use a cached dense LU of (I - P_k); large levels fall back to
 // matrix-free iterative solves on the CSR P_k (Neumann series, then BiCGSTAB
 // if the series converges too slowly).
+//
+// The expensive, query-independent pieces — the StateSpace and the per-level
+// factorizations — live in a shared core::ModelArtifacts (model_cache.h), so
+// many solver instances (e.g. the points of a figure sweep) can evaluate the
+// same model without rebuilding it.
 
 #include <cstddef>
-#include <future>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "linalg/lu.h"
@@ -22,6 +27,8 @@
 #include "network/state_space.h"
 
 namespace finwork::core {
+
+class ModelArtifacts;
 
 struct SolverOptions {
   /// Use a dense LU of (I - P_k) when D(k) is at most this; iterative above.
@@ -93,21 +100,37 @@ struct SteadyStateResult {
 };
 
 /// Transient solver over a network's reduced-product state space.
+///
+/// A solver instance is cheap when it shares a prebuilt ModelArtifacts; it is
+/// not itself thread-safe (steady-state results are memoized per instance) —
+/// concurrent sweep points should each own a solver over the shared model.
 class TransientSolver {
  public:
   /// `workstations` is K: the number of tasks held in service concurrently.
+  /// Builds a private ModelArtifacts for the spec.
   TransientSolver(const net::NetworkSpec& spec, std::size_t workstations,
                   SolverOptions options = {});
-  /// Drains any level prebuilds still in flight on the thread pool.
+  /// Evaluate over a shared (typically ModelCache-owned) model.  The model's
+  /// numeric backend options (dense threshold, solve tolerances, composite
+  /// gating) were fixed when the artifacts were built; `options` governs the
+  /// per-query recursion controls (fast_forward and its thresholds, the
+  /// steady-state iteration caps).
+  explicit TransientSolver(std::shared_ptr<const ModelArtifacts> model,
+                           SolverOptions options = {});
   ~TransientSolver();
   TransientSolver(const TransientSolver&) = delete;
   TransientSolver& operator=(const TransientSolver&) = delete;
   TransientSolver(TransientSolver&&) = delete;
   TransientSolver& operator=(TransientSolver&&) = delete;
 
-  [[nodiscard]] const net::StateSpace& space() const noexcept { return space_; }
+  [[nodiscard]] const net::StateSpace& space() const noexcept;
   [[nodiscard]] std::size_t workstations() const noexcept { return k_; }
   [[nodiscard]] const SolverOptions& options() const noexcept { return opts_; }
+  /// The shared model this solver evaluates.
+  [[nodiscard]] const std::shared_ptr<const ModelArtifacts>& model()
+      const noexcept {
+    return model_;
+  }
 
   /// tau'_k: mean time to the next system departure from each state of Xi_k.
   [[nodiscard]] const la::Vector& tau(std::size_t k) const;
@@ -137,11 +160,27 @@ class TransientSolver {
   /// Mean makespan E(T) only (same recursion, no per-epoch storage).
   [[nodiscard]] double makespan(std::size_t tasks) const;
 
+  /// E(T) for every workload size in `tasks` from ONE pass of the epoch
+  /// recursion: the recursion evaluated at max(tasks) computes every smaller
+  /// workload as a prefix, so each requested N is harvested on the way
+  /// instead of re-running the pass per point.  Exact by construction —
+  /// agrees with per-N makespan() to solver precision — and composes with
+  /// fast_forward (post-mixing points close with the arithmetic-series
+  /// identities).  `tasks` need not be sorted or unique; results align with
+  /// the input order.
+  [[nodiscard]] std::vector<double> makespan_grid(
+      std::span<const std::size_t> tasks) const;
+
   /// Mean AND variance of the makespan, treating the whole finite-workload
   /// process as one absorbing chain and back-substituting its block
   /// bidiagonal structure (extension; see DESIGN.md).  The mean coincides
   /// with solve(tasks).makespan to solver precision.
   [[nodiscard]] MakespanMoments makespan_moments(std::size_t tasks) const;
+
+  /// Moments for every workload size in `tasks` from one pass of the
+  /// admission recursion (the N-grid analogue of makespan_grid).
+  [[nodiscard]] std::vector<MakespanMoments> makespan_moments_grid(
+      std::span<const std::size_t> tasks) const;
 
   /// Full distribution of the makespan: P(T <= t) for each requested time,
   /// by uniformization of the layered absorbing chain (extension).  One
@@ -188,34 +227,20 @@ class TransientSolver {
   [[nodiscard]] const la::Vector& time_stationary_distribution() const;
 
  private:
-  struct Level {
-    std::optional<la::LuDecomposition> lu;  // dense LU of (I - P_k)
-    la::Vector tau;
-    // Dense T_k = (I - P_k)^-1 Q_k R_k, built once when a saturated run is
-    // long enough to amortise it; serves both the row recursion of solve()
-    // and the column recursion of makespan_moments().
-    std::optional<la::Matrix> composite;
-    bool prepared = false;
-  };
-
-  const Level& prepared_level(std::size_t k) const;
-  /// x = pi (I - P_k)^-1 (row solve).
+  /// x = pi (I - P_k)^-1 (row solve, through the shared model).
   [[nodiscard]] la::Vector solve_left(std::size_t k, const la::Vector& pi) const;
   /// x = (I - P_k)^-1 b (column solve).
   [[nodiscard]] la::Vector solve_right(std::size_t k, const la::Vector& b) const;
-  /// Cached dense composite T_k, or nullptr when caching is off, the level
-  /// is iterative, or `expected_epochs` would not amortise the d solves of
-  /// the build.
-  [[nodiscard]] const la::Matrix* composite_operator(
-      std::size_t k, std::size_t expected_epochs) const;
+  /// Epochs after which building the dense composite has paid for itself:
+  /// the build is one multi-RHS solve per state, i.e. about dimension(level)
+  /// epochs of the LU path (mirrors the gate in composite_operator).
+  [[nodiscard]] std::size_t composite_break_even(std::size_t level) const;
 
-  net::StateSpace space_;
+  std::shared_ptr<const ModelArtifacts> model_;
   std::size_t k_;
   SolverOptions opts_;
-  mutable std::vector<Level> levels_;
   mutable std::optional<SteadyStateResult> steady_;
   mutable std::optional<la::Vector> time_stationary_;
-  mutable std::vector<std::future<void>> prebuild_;
 };
 
 }  // namespace finwork::core

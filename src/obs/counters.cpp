@@ -37,6 +37,10 @@ constexpr std::array<std::string_view, kNumCounters> kCounterNames = {
     "check.invariant_checks",
     "check.invariant_violations",
     "trace.events_dropped",
+    "cache.model_hits",
+    "cache.model_misses",
+    "cache.model_evictions",
+    "solver.grid_points_per_pass",
 };
 
 constexpr std::array<std::string_view, kNumGauges> kGaugeNames = {

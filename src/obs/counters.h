@@ -40,6 +40,10 @@ enum class Counter : std::size_t {
   kInvariantChecks,      ///< invariant checker entries
   kInvariantViolations,  ///< invariant violations raised
   kTraceEventsDropped,   ///< spans discarded by a full thread buffer
+  kModelCacheHits,       ///< ModelCache lookups served by an existing model
+  kModelCacheMisses,     ///< ModelCache lookups that built a new model
+  kModelCacheEvictions,  ///< models evicted by the LRU capacity bound
+  kGridPointsPerPass,    ///< N-grid points harvested by single-pass sweeps
   kCount
 };
 

@@ -1,0 +1,182 @@
+// Content-addressed model cache: canonical fingerprinting with structural
+// equality (never hash-trust), single-flight build dedup, LRU capacity
+// bounds, and artifact sharing across solver instances.
+
+#include "core/model_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cluster/builders.h"
+#include "cluster/experiments.h"
+#include "core/transient_solver.h"
+#include "network/network_spec.h"
+
+namespace {
+
+using namespace finwork;
+
+net::NetworkSpec make_cluster(std::size_t workstations, double disk_scv) {
+  cluster::ExperimentConfig cfg;
+  cfg.architecture = cluster::Architecture::kCentral;
+  cfg.workstations = workstations;
+  cfg.shapes.remote_disk = cluster::ServiceShape::from_scv(disk_scv);
+  return cluster::build_cluster(cfg);
+}
+
+std::uint64_t colliding_hash(std::span<const std::uint8_t>) { return 42; }
+
+TEST(CanonicalKeyTest, StructurallyEqualSpecsShareTheKey) {
+  // Two independently built copies of the same cluster must encode to the
+  // same bytes — the cache is content-addressed, not identity-addressed.
+  const auto key_a = core::canonical_model_key(make_cluster(3, 4.0), 3);
+  const auto key_b = core::canonical_model_key(make_cluster(3, 4.0), 3);
+  EXPECT_EQ(key_a, key_b);
+  EXPECT_EQ(core::model_fingerprint(key_a), core::model_fingerprint(key_b));
+}
+
+TEST(CanonicalKeyTest, DistinguishesShapePopulationAndOptions) {
+  const auto base = core::canonical_model_key(make_cluster(3, 4.0), 3);
+  // A different service shape is a different model.
+  EXPECT_NE(base, core::canonical_model_key(make_cluster(3, 6.0), 3));
+  // A different population bound changes the state space.
+  EXPECT_NE(base, core::canonical_model_key(make_cluster(3, 4.0), 2));
+  // Backend options shape the artifacts, so they are part of the key.
+  core::SolverOptions iterative;
+  iterative.dense_threshold = 0;
+  EXPECT_NE(base,
+            core::canonical_model_key(make_cluster(3, 4.0), 3, iterative));
+  // Per-query recursion controls do NOT change the artifacts.
+  core::SolverOptions no_ff;
+  no_ff.fast_forward = false;
+  EXPECT_EQ(base, core::canonical_model_key(make_cluster(3, 4.0), 3, no_ff));
+}
+
+TEST(CanonicalKeyTest, ExponentializedModelIsSharedAcrossScvSweep) {
+  // The paper's prediction-error sweeps compare each C^2 against the
+  // exponentialized cluster; that comparison model is the SAME for every
+  // C^2 value, which is what makes the sweep cache-friendly.
+  const auto exp_a =
+      core::canonical_model_key(make_cluster(3, 4.0).exponentialized(), 3);
+  const auto exp_b =
+      core::canonical_model_key(make_cluster(3, 25.0).exponentialized(), 3);
+  EXPECT_EQ(exp_a, exp_b);
+}
+
+TEST(ModelCacheTest, HitsReuseTheSameArtifacts) {
+  core::ModelCache cache(4);
+  const auto a = cache.acquire(make_cluster(3, 4.0), 3);
+  const auto b = cache.acquire(make_cluster(3, 4.0), 3);
+  EXPECT_EQ(a.get(), b.get());
+  const core::ModelCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1U);
+  EXPECT_EQ(stats.hits, 1U);
+  EXPECT_EQ(stats.size, 1U);
+}
+
+TEST(ModelCacheTest, HashCollisionFallsBackToFullEquality) {
+  // Every key hashes to the same bucket: distinct models must still come
+  // back distinct (and correct), proving the cache compares full keys and
+  // never serves on fingerprint alone.
+  core::ModelCache cache(8, &colliding_hash);
+  const auto erlang = cache.acquire(make_cluster(2, 0.5), 2);
+  const auto hyper = cache.acquire(make_cluster(2, 10.0), 2);
+  EXPECT_NE(erlang.get(), hyper.get());
+  EXPECT_EQ(cache.stats().misses, 2U);
+  EXPECT_EQ(cache.stats().hits, 0U);
+
+  // Each colliding entry still resolves to its own model on re-acquire...
+  EXPECT_EQ(cache.acquire(make_cluster(2, 0.5), 2).get(), erlang.get());
+  EXPECT_EQ(cache.acquire(make_cluster(2, 10.0), 2).get(), hyper.get());
+  EXPECT_EQ(cache.stats().hits, 2U);
+
+  // ...and the models themselves are genuinely different.
+  const core::TransientSolver se(erlang);
+  const core::TransientSolver sh(hyper);
+  EXPECT_NE(se.makespan(20), sh.makespan(20));
+}
+
+TEST(ModelCacheTest, LruEvictsTheColdestEntry) {
+  core::ModelCache cache(2);
+  const auto a = cache.acquire(make_cluster(2, 0.5), 2);
+  (void)cache.acquire(make_cluster(2, 2.0), 2);
+  // Touch A so B becomes the LRU entry, then insert C to push B out.
+  (void)cache.acquire(make_cluster(2, 0.5), 2);
+  (void)cache.acquire(make_cluster(2, 10.0), 2);
+  EXPECT_EQ(cache.stats().evictions, 1U);
+  EXPECT_EQ(cache.stats().size, 2U);
+
+  // A survived (hit); B was evicted (miss rebuilds it).
+  const std::uint64_t misses_before = cache.stats().misses;
+  EXPECT_EQ(cache.acquire(make_cluster(2, 0.5), 2).get(), a.get());
+  EXPECT_EQ(cache.stats().misses, misses_before);
+  (void)cache.acquire(make_cluster(2, 2.0), 2);
+  EXPECT_EQ(cache.stats().misses, misses_before + 1);
+}
+
+TEST(ModelCacheTest, EvictedModelSurvivesForHolders) {
+  core::ModelCache cache(1);
+  const auto a = cache.acquire(make_cluster(2, 0.5), 2);
+  (void)cache.acquire(make_cluster(2, 2.0), 2);  // evicts a's entry
+  EXPECT_EQ(cache.stats().evictions, 1U);
+  // The shared_ptr keeps the artifacts alive and usable.
+  const core::TransientSolver solver(a);
+  EXPECT_GT(solver.makespan(10), 0.0);
+}
+
+TEST(ModelCacheTest, SingleFlightDeduplicatesConcurrentBuilds) {
+  core::ModelCache cache(4);
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::shared_ptr<const core::ModelArtifacts>> models(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&cache, &models, t] {
+        models[t] = cache.acquire(make_cluster(3, 10.0), 3);
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+  for (std::size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(models[t].get(), models[0].get());
+  }
+  const core::ModelCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1U);
+  EXPECT_EQ(stats.hits, kThreads - 1);
+}
+
+TEST(ModelCacheTest, ClearDropsEntriesAndResetsStats) {
+  core::ModelCache cache(4);
+  (void)cache.acquire(make_cluster(2, 0.5), 2);
+  (void)cache.acquire(make_cluster(2, 0.5), 2);
+  cache.clear();
+  const core::ModelCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.size, 0U);
+  EXPECT_EQ(stats.hits, 0U);
+  EXPECT_EQ(stats.misses, 0U);
+  // Re-acquire rebuilds.
+  (void)cache.acquire(make_cluster(2, 0.5), 2);
+  EXPECT_EQ(cache.stats().misses, 1U);
+}
+
+TEST(ModelCacheTest, SharedModelMatchesPrivatelyBuiltSolver) {
+  const net::NetworkSpec spec = make_cluster(3, 10.0);
+  const core::TransientSolver direct(spec, 3);
+  core::ModelCache cache(4);
+  const core::TransientSolver shared(cache.acquire(spec, 3));
+  for (std::size_t n : {std::size_t{3}, std::size_t{30}, std::size_t{200}}) {
+    EXPECT_NEAR(shared.makespan(n), direct.makespan(n),
+                1e-10 * direct.makespan(n));
+  }
+  EXPECT_NEAR(shared.steady_state().interdeparture,
+              direct.steady_state().interdeparture, 1e-12);
+}
+
+}  // namespace

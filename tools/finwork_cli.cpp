@@ -31,6 +31,7 @@
 #include "cluster/config.h"
 #include "core/approximation.h"
 #include "core/metrics.h"
+#include "core/model_cache.h"
 #include "core/transient_solver.h"
 #include "obs/trace.h"
 #include "pf/product_form.h"
@@ -110,7 +111,13 @@ int main(int argc, char** argv) {
           std::cerr << "cannot write trace to " << trace_out << '\n';
         }
       }
-      if (stats) obs::write_text_summary(std::cout);
+      if (stats) {
+        obs::write_text_summary(std::cout);
+        const core::ModelCacheStats mc = core::ModelCache::global().stats();
+        std::cout << "model cache: " << mc.hits << " hits, " << mc.misses
+                  << " misses, " << mc.evictions << " evictions, " << mc.size
+                  << '/' << mc.capacity << " resident\n";
+      }
     }
   } obs_flush{trace_out, stats};
 
@@ -133,7 +140,8 @@ int main(int argc, char** argv) {
     }
 
     const net::NetworkSpec network = spec.build();
-    const core::TransientSolver solver(network, spec.workstations);
+    const core::TransientSolver solver(
+        core::ModelCache::global().acquire(network, spec.workstations));
     const core::DepartureTimeline tl = solver.solve(spec.tasks);
     const core::SteadyStateResult& ss = solver.steady_state();
 
@@ -188,8 +196,8 @@ int main(int argc, char** argv) {
       }
     }
     if (wants(spec, "prediction_error")) {
-      const core::TransientSolver expo(network.exponentialized(),
-                                       spec.workstations);
+      const core::TransientSolver expo(core::ModelCache::global().acquire(
+          network.exponentialized(), spec.workstations));
       std::cout << "exponential-assumption error: "
                 << core::prediction_error_percent(tl.makespan,
                                                   expo.makespan(spec.tasks))
