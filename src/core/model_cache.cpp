@@ -2,14 +2,20 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
+#include <limits>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "check/fault_inject.h"
 #include "check/invariants.h"
 #include "linalg/iterative.h"
+#include "linalg/solver_error.h"
 #include "network/network_spec.h"
 #include "obs/counters.h"
+#include "obs/sink.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
 
@@ -75,41 +81,186 @@ ModelArtifacts::~ModelArtifacts() {
   }
 }
 
-la::Vector ModelArtifacts::solve_right_on(const Level& lvl, std::size_t k,
-                                          const la::Vector& b) const {
+namespace {
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+la::Vector ModelArtifacts::ladder_solve(const Level& lvl, std::size_t k,
+                                        const la::Vector& b, bool left) const {
+  // Stage 1: dense LU (+ stage 2, iterative refinement, when the level's
+  // condition estimate breached max_condition at factorization time).
   if (lvl.lu) {
     obs::counter_add(obs::Counter::kDenseSolves);
-    return lvl.lu->solve(b);
+    la::Vector x = left ? lvl.lu->solve_left(b) : lvl.lu->solve(b);
+    if (!lvl.refine) return x;
+    if (refine_solution(lvl, k, b, x, left)) return x;
+    obs::counter_add(obs::Counter::kFallbackActivations);
+    obs::emit_event("degradation/refinement", "(I-P_k)", k, obs::kNoIndex,
+                    "iterative refinement stalled; falling back to the "
+                    "matrix-free iterative backend");
   }
+  // Stage 3: matrix-free iterative backend, Neumann -> BiCGSTAB -> GMRES.
   obs::counter_add(obs::Counter::kIterativeSolves);
   const net::LevelMatrices& lm = space_.level(k);
   par::ThreadPool& pool = par::ThreadPool::global();
-  // Column solve: (I - P) x = b via the Neumann series x = sum P^n b.
-  la::Vector x = b;
-  la::Vector term = b;
-  for (std::size_t n = 1; n <= opts_.max_neumann_iterations; ++n) {
-    term = lm.p.apply_parallel(term, pool);
-    x += term;
-    if (term.norm_inf() < opts_.tolerance) {
-      obs::counter_add(obs::Counter::kNeumannIterations, n);
-      return x;
-    }
-  }
-  obs::counter_add(obs::Counter::kNeumannIterations,
-                   opts_.max_neumann_iterations);
-  const auto apply_a = [&lm, &pool](const la::Vector& v) {
+  const auto apply_p = [&lm, &pool, left](const la::Vector& v) {
+    return left ? lm.p.apply_left_parallel(v, pool)
+                : lm.p.apply_parallel(v, pool);
+  };
+  la::IterativeResult res = la::neumann_solve_left(
+      apply_p, b, opts_.tolerance, opts_.max_neumann_iterations);
+  if (res.converged) return std::move(res.x);
+  const auto apply_a = [&apply_p](const la::Vector& v) {
     la::Vector y = v;
-    y -= lm.p.apply_parallel(v, pool);
+    y -= apply_p(v);
     return y;
   };
-  la::IterativeResult res = la::bicgstab_left(apply_a, b, opts_.tolerance,
-                                              opts_.max_bicgstab_iterations);
-  if (!res.converged) {
-    throw std::runtime_error(
-        "ModelArtifacts: column solve failed to converge at level " +
-        std::to_string(k));
+  res = la::bicgstab_left(apply_a, b, opts_.tolerance,
+                          opts_.max_bicgstab_iterations);
+  if (res.converged) return std::move(res.x);
+  res = la::gmres_left(apply_a, b, opts_.tolerance,
+                       opts_.max_bicgstab_iterations);
+  if (res.converged) return std::move(res.x);
+  if (opts_.strict) {
+    SolverErrorContext ctx;
+    ctx.level = k;
+    ctx.dimension = space_.dimension(k);
+    ctx.residual = res.residual;
+    ctx.iterations = res.iterations;
+    ctx.detail = "iterative backend exhausted in strict mode";
+    throw SolverError(SolverErrorKind::kNonConvergence, SolverStage::kGmres,
+                      std::move(ctx));
   }
-  return std::move(res.x);
+  obs::counter_add(obs::Counter::kFallbackActivations);
+  obs::emit_event("degradation/iterative", "(I-P_k)", k, obs::kNoIndex,
+                  "Neumann/BiCGSTAB/GMRES all stalled (residual " +
+                      format_double(res.residual) +
+                      "); entering shifted-operator rescue");
+  return rescue_solve(lvl, k, b, left);
+}
+
+bool ModelArtifacts::refine_solution(const Level& lvl, std::size_t k,
+                                     const la::Vector& b, la::Vector& x,
+                                     bool left) const {
+  const net::LevelMatrices& lm = space_.level(k);
+  par::ThreadPool& pool = par::ThreadPool::global();
+  const double target = opts_.tolerance * std::max(b.norm_inf(), 1e-300);
+  // r = b - x(I - P) = b - x + xP (left; the right case mirrors it).
+  const auto residual = [&] {
+    la::Vector r = left ? lm.p.apply_left_parallel(x, pool)
+                        : lm.p.apply_parallel(x, pool);
+    r -= x;
+    r += b;
+    return r;
+  };
+  if (check::fault_at("ladder/refine")) return false;
+  for (std::size_t it = 0; it < opts_.max_refinement_iters; ++it) {
+    la::Vector r = residual();
+    if (r.norm_inf() <= target) return true;
+    obs::counter_add(obs::Counter::kRefinementIters);
+    const la::Vector dx = left ? lvl.lu->solve_left(r) : lvl.lu->solve(r);
+    x += dx;
+  }
+  return residual().norm_inf() <= target;
+}
+
+la::Vector ModelArtifacts::rescue_solve(const Level& lvl, std::size_t k,
+                                        const la::Vector& b, bool left) const {
+  (void)lvl;
+  const net::LevelMatrices& lm = space_.level(k);
+  par::ThreadPool& pool = par::ThreadPool::global();
+  const std::size_t d = space_.dimension(k);
+  const double target = opts_.tolerance * std::max(b.norm_inf(), 1e-300);
+  const auto apply_p = [&lm, &pool, left](const la::Vector& v) {
+    return left ? lm.p.apply_left_parallel(v, pool)
+                : lm.p.apply_parallel(v, pool);
+  };
+  const auto residual_norm = [&](const la::Vector& x) {
+    la::Vector r = apply_p(x);
+    r -= x;
+    r += b;
+    return r.norm_inf();
+  };
+  double last_residual = -1.0;
+  if (!check::fault_at("ladder/rescue")) {
+    for (const double sigma : {1e-8, 1e-5, 1e-2}) {
+      // Outer Richardson on the shifted operator: the fixed point of
+      //   x_{m+1} (I - P + sigma I) = b + sigma x_m
+      // is the solution of x (I - P) = b, the error contracts by
+      // sigma (A + sigma I)^-1 every outer step, and each inner system is
+      // strictly better conditioned than (I - P) itself.
+      std::optional<la::LuDecomposition> shifted;
+      if (d <= opts_.dense_threshold) {
+        try {
+          la::Matrix a = lm.p.to_dense();
+          a *= -1.0;
+          for (std::size_t i = 0; i < d; ++i) a(i, i) += 1.0 + sigma;
+          shifted.emplace(a);
+        } catch (const SolverError&) {
+          continue;  // shifted factorization failed too: escalate sigma
+        }
+      }
+      const auto inner_solve =
+          [&](const la::Vector& rhs) -> std::optional<la::Vector> {
+        if (shifted) {
+          return left ? shifted->solve_left(rhs) : shifted->solve(rhs);
+        }
+        // (I - P + sigma I) = (1 + sigma)(I - P/(1 + sigma)): the scaled
+        // Neumann series contracts at least as fast as 1/(1 + sigma).
+        const double scale = 1.0 + sigma;
+        const auto apply_scaled = [&](const la::Vector& v) {
+          la::Vector y = apply_p(v);
+          y /= scale;
+          return y;
+        };
+        la::Vector rhs_scaled = rhs;
+        rhs_scaled /= scale;
+        la::IterativeResult inner =
+            la::neumann_solve_left(apply_scaled, rhs_scaled, opts_.tolerance,
+                                   opts_.max_neumann_iterations);
+        if (!inner.converged) return std::nullopt;
+        return std::move(inner.x);
+      };
+      constexpr std::size_t kMaxOuter = 200;
+      la::Vector x(d, 0.0);
+      bool inner_failed = false;
+      for (std::size_t outer = 0; outer < kMaxOuter && !inner_failed;
+           ++outer) {
+        la::Vector rhs = x;
+        rhs *= sigma;
+        rhs += b;
+        std::optional<la::Vector> next = inner_solve(rhs);
+        if (!next) {
+          inner_failed = true;
+          break;
+        }
+        x = std::move(*next);
+        last_residual = residual_norm(x);
+        if (last_residual <= target) {
+          obs::emit_event("degradation/shifted-retry", "(I-P_k)", k,
+                          obs::kNoIndex,
+                          "recovered by shifted-operator Richardson, sigma=" +
+                              format_double(sigma));
+          return x;
+        }
+      }
+    }
+  }
+  SolverErrorContext ctx;
+  ctx.level = k;
+  ctx.dimension = d;
+  if (last_residual >= 0.0) ctx.residual = last_residual;
+  ctx.detail =
+      "fallback ladder exhausted (dense LU, refinement, "
+      "Neumann/BiCGSTAB/GMRES, shifted retry)";
+  throw SolverError(SolverErrorKind::kNonConvergence, SolverStage::kShiftedRetry,
+                    std::move(ctx));
 }
 
 const ModelArtifacts::Level& ModelArtifacts::prepared_level(
@@ -129,12 +280,52 @@ const ModelArtifacts::Level& ModelArtifacts::prepared_level(
       la::Matrix a = lm.p.to_dense();
       a *= -1.0;
       for (std::size_t i = 0; i < d; ++i) a(i, i) += 1.0;
-      lvl.lu.emplace(a);
+      try {
+        lvl.lu.emplace(a);
+      } catch (const SolverError& e) {
+        if (e.kind() != SolverErrorKind::kSingular || opts_.strict) {
+          SolverErrorContext ctx = e.context();
+          ctx.level = k;  // attach the level the factorization belongs to
+          throw SolverError(e.kind(), e.stage(), std::move(ctx));
+        }
+        obs::counter_add(obs::Counter::kFallbackActivations);
+        obs::emit_event("degradation/lu-singular", "(I-P_k)", k,
+                        e.context().pivot, e.what());
+        // The level degrades to the matrix-free iterative backend.
+      }
+    }
+    if (lvl.lu) {
+      lvl.rcond = lvl.lu->rcond_estimate();
+      obs::counter_add(obs::Counter::kConditionEstimates);
+      const double cond = lvl.rcond > 0.0
+                              ? 1.0 / lvl.rcond
+                              : std::numeric_limits<double>::infinity();
+      if (opts_.max_condition > 0.0 && cond > opts_.max_condition) {
+        if (opts_.strict) {
+          SolverErrorContext ctx;
+          ctx.level = k;
+          ctx.dimension = d;
+          ctx.condition_estimate = cond;
+          ctx.detail =
+              "condition estimate beyond SolverOptions::max_condition in "
+              "strict mode";
+          throw SolverError(SolverErrorKind::kIllConditioned,
+                            SolverStage::kLuFactorize, std::move(ctx));
+        }
+        lvl.refine = true;
+        obs::counter_add(obs::Counter::kFallbackActivations);
+        obs::emit_event("degradation/ill-conditioned", "(I-P_k)", k,
+                        obs::kNoIndex,
+                        "condition estimate " + format_double(cond) +
+                            " beyond max_condition " +
+                            format_double(opts_.max_condition) +
+                            "; dense solves run iterative refinement");
+      }
     }
     // tau'_k = (I - P_k)^-1 (M_k^-1 eps)
     la::Vector rhs(d);
     for (std::size_t i = 0; i < d; ++i) rhs[i] = 1.0 / lm.event_rates[i];
-    lvl.tau = solve_right_on(lvl, k, rhs);
+    lvl.tau = ladder_solve(lvl, k, rhs, /*left=*/false);
     if constexpr (check::kEnabled) {
       // tau'_k = V_k eps: mean remaining epoch time per state — finite and
       // positive, or the level's (I - P_k) solve went off the rails.
@@ -152,38 +343,16 @@ const la::Vector& ModelArtifacts::tau(std::size_t k) const {
 
 la::Vector ModelArtifacts::solve_left(std::size_t k,
                                       const la::Vector& pi) const {
-  const Level& lvl = prepared_level(k);
-  if (lvl.lu) {
-    obs::counter_add(obs::Counter::kDenseSolves);
-    return lvl.lu->solve_left(pi);
-  }
-  obs::counter_add(obs::Counter::kIterativeSolves);
-  const net::LevelMatrices& lm = space_.level(k);
-  par::ThreadPool& pool = par::ThreadPool::global();
-  const auto apply_p = [&lm, &pool](const la::Vector& x) {
-    return lm.p.apply_left_parallel(x, pool);
-  };
-  la::IterativeResult res = la::neumann_solve_left(
-      apply_p, pi, opts_.tolerance, opts_.max_neumann_iterations);
-  if (res.converged) return std::move(res.x);
-  const auto apply_a = [&lm, &pool](const la::Vector& x) {
-    la::Vector y = x;
-    y -= lm.p.apply_left_parallel(x, pool);
-    return y;
-  };
-  res = la::bicgstab_left(apply_a, pi, opts_.tolerance,
-                          opts_.max_bicgstab_iterations);
-  if (!res.converged) {
-    throw std::runtime_error(
-        "ModelArtifacts: iterative solve failed to converge at level " +
-        std::to_string(k));
-  }
-  return std::move(res.x);
+  return ladder_solve(prepared_level(k), k, pi, /*left=*/true);
 }
 
 la::Vector ModelArtifacts::solve_right(std::size_t k,
                                        const la::Vector& b) const {
-  return solve_right_on(prepared_level(k), k, b);
+  return ladder_solve(prepared_level(k), k, b, /*left=*/false);
+}
+
+double ModelArtifacts::level_rcond(std::size_t k) const {
+  return prepared_level(k).rcond;
 }
 
 const la::Matrix* ModelArtifacts::composite_operator(
@@ -263,7 +432,7 @@ std::vector<std::uint8_t> canonical_model_key(const net::NetworkSpec& spec,
                                               const SolverOptions& options) {
   std::vector<std::uint8_t> key;
   key.reserve(256);
-  key.push_back(1);  // encoding version
+  key.push_back(2);  // encoding version (v2: robustness options joined)
   put_u64(key, workstations);
   put_u64(key, spec.num_stations());
   for (const net::Station& st : spec.stations()) {
@@ -284,6 +453,9 @@ std::vector<std::uint8_t> canonical_model_key(const net::NetworkSpec& spec,
   put_u64(key, options.max_bicgstab_iterations);
   key.push_back(options.cache_composite ? 1 : 0);
   put_u64(key, options.composite_min_epochs);
+  key.push_back(options.strict ? 1 : 0);
+  put_double(key, options.max_condition);
+  put_u64(key, options.max_refinement_iters);
   return key;
 }
 
@@ -350,6 +522,12 @@ std::shared_ptr<const ModelArtifacts> ModelCache::acquire(
     std::shared_ptr<const ModelArtifacts> model;
     {
       const obs::ObsSpan build_span("cache/build_model");
+      if (check::fault_at("cache/build")) {
+        SolverErrorContext ctx;
+        ctx.detail = "injected cache build failure";
+        throw SolverError(SolverErrorKind::kCacheBuildFailure,
+                          SolverStage::kCacheBuild, std::move(ctx));
+      }
       model = std::make_shared<const ModelArtifacts>(spec, workstations,
                                                      options);
     }

@@ -71,6 +71,9 @@ class ModelArtifacts {
   /// later call regardless of `expected_epochs`.
   [[nodiscard]] const la::Matrix* composite_operator(
       std::size_t k, std::size_t expected_epochs) const;
+  /// Reciprocal condition estimate of level k's dense factorization of
+  /// (I - P_k); 0 when the level is iterative or its factorization failed.
+  [[nodiscard]] double level_rcond(std::size_t k) const;
 
  private:
   // Per-level artifacts.  Non-movable (once_flag, mutex), so levels_ is a
@@ -80,6 +83,11 @@ class ModelArtifacts {
     std::atomic<bool> prepared{false};
     std::optional<la::LuDecomposition> lu;
     la::Vector tau;
+    /// Reciprocal condition estimate of the factorization (0 = no LU).
+    double rcond = 0.0;
+    /// Ladder state: condition estimate breached max_condition, so every
+    /// dense solve on this level runs iterative refinement.
+    bool refine = false;
     // The composite's build gate depends on the caller's expected epoch
     // count, so a plain call_once cannot express it: guard with a mutex and
     // publish through an acquire/release flag.
@@ -91,10 +99,23 @@ class ModelArtifacts {
   /// Factorize (I - P_k) and build tau'_k exactly once; returns the level
   /// with `prepared` visible.
   const Level& prepared_level(std::size_t k) const;
-  /// Column solve against an already-prepared level (no re-entry into
-  /// prepared_level — call_once would self-deadlock).
-  la::Vector solve_right_on(const Level& lvl, std::size_t k,
-                            const la::Vector& b) const;
+  /// Fallback-ladder solve of x (I - P_k) = b (left) or (I - P_k) x = b
+  /// (right) against an already-prepared level (no re-entry into
+  /// prepared_level — call_once would self-deadlock).  Stages, in order:
+  /// dense LU, iterative refinement, Neumann/BiCGSTAB/GMRES, shifted retry;
+  /// throws finwork::SolverError when the whole ladder is exhausted.  See
+  /// docs/ROBUSTNESS.md.
+  la::Vector ladder_solve(const Level& lvl, std::size_t k, const la::Vector& b,
+                          bool left) const;
+  /// Refinement stage: correct `x` against the true operator until the
+  /// residual meets the solve tolerance; false when the cap runs out.
+  bool refine_solution(const Level& lvl, std::size_t k, const la::Vector& b,
+                       la::Vector& x, bool left) const;
+  /// Rescue stage: shifted-operator Richardson iteration (dense levels
+  /// re-factor I - P + sigma I; iterative levels run the shifted Neumann
+  /// series).  Throws SolverError on failure.
+  la::Vector rescue_solve(const Level& lvl, std::size_t k, const la::Vector& b,
+                          bool left) const;
 
   net::StateSpace space_;
   std::size_t k_;

@@ -8,6 +8,7 @@
 #include "check/invariants.h"
 #include "core/model_cache.h"
 #include "linalg/iterative.h"
+#include "linalg/solver_error.h"
 #include "linalg/parallel_blas.h"
 #include "obs/counters.h"
 #include "obs/trace.h"
@@ -910,8 +911,14 @@ const la::Vector& TransientSolver::time_stationary_distribution() const {
   const la::IterativeResult res = la::power_iteration_left(
       apply_jump, initial_vector(), opts_.tolerance, opts_.max_power_iterations);
   if (!res.converged) {
-    throw std::runtime_error(
-        "time_stationary_distribution: power iteration failed to converge");
+    SolverErrorContext ctx;
+    ctx.level = k_;
+    ctx.dimension = res.x.size();
+    ctx.residual = res.residual;
+    ctx.iterations = res.iterations;
+    ctx.detail = "time_stationary_distribution: power iteration stalled";
+    throw SolverError(SolverErrorKind::kNonConvergence,
+                      SolverStage::kPowerIteration, std::move(ctx));
   }
   la::Vector pi = res.x;
   for (std::size_t i = 0; i < pi.size(); ++i) pi[i] /= lm.event_rates[i];

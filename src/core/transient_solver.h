@@ -59,6 +59,18 @@ struct SolverOptions {
   /// Build the level matrices for 1..K concurrently on the global thread
   /// pool at construction instead of lazily on first use.
   bool prebuild_levels = true;
+  /// Fail-fast mode (docs/ROBUSTNESS.md): a degradation the fallback ladder
+  /// would normally absorb — a singular dense factorization, a condition
+  /// estimate beyond `max_condition`, an iterative backend that needs the
+  /// shifted-retry rescue — throws finwork::SolverError instead.
+  bool strict = false;
+  /// Condition-number ceiling for dense factorizations of (I - P_k), as
+  /// estimated by LuDecomposition::rcond_estimate (0 = unlimited).  Beyond
+  /// it, strict mode throws and default mode routes every solve on that
+  /// level through iterative refinement.
+  double max_condition = 0.0;
+  /// Correction-step cap for the iterative-refinement ladder stage.
+  std::size_t max_refinement_iters = 8;
 };
 
 /// Per-epoch output of the transient model.

@@ -2,8 +2,11 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "linalg/lu.h"
+#include "linalg/solver_error.h"
 
 namespace finwork::la {
 
@@ -54,7 +57,17 @@ Matrix expm(const Matrix& a) {
   const Matrix v = a6 * z1 + z2;
 
   // exp(As) ~= (V - U)^-1 (V + U)
-  Matrix r = LuDecomposition(v - u).solve(v + u);
+  Matrix r;
+  try {
+    r = LuDecomposition(v - u).solve(v + u);
+  } catch (const SolverError& e) {
+    // Re-stage: the caller sees the Padé denominator failure as an expm
+    // failure, with the LU diagnostics carried along.
+    SolverErrorContext ctx = e.context();
+    ctx.detail = "expm: Pade denominator V - U is singular (" +
+                 std::string(e.what()) + ")";
+    throw SolverError(e.kind(), SolverStage::kExpm, std::move(ctx));
+  }
   for (int s = 0; s < squarings; ++s) r = r * r;
   return r;
 }

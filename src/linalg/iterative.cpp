@@ -1,8 +1,12 @@
 #include "linalg/iterative.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
+#include "check/fault_inject.h"
+#include "linalg/solver_error.h"
 #include "obs/counters.h"
 
 namespace finwork::la {
@@ -11,6 +15,12 @@ IterativeResult neumann_solve_left(const RowOperator& apply_p, const Vector& b,
                                    double tol, std::size_t max_iter) {
   IterativeResult res;
   res.x = b;
+  if (check::fault_at("iterative/neumann")) {
+    // Injected non-convergence: report failure exactly as an exhausted
+    // iteration cap would, so callers exercise their real fallback path.
+    res.residual = b.norm_inf();
+    return res;
+  }
   Vector term = b;
   for (std::size_t n = 1; n <= max_iter; ++n) {
     term = apply_p(term);
@@ -34,6 +44,10 @@ IterativeResult bicgstab_left(const RowOperator& apply_a, const Vector& b,
   IterativeResult res;
   const std::size_t n = b.size();
   res.x = Vector(n, 0.0);
+  if (check::fault_at("iterative/bicgstab")) {
+    res.residual = b.norm2();
+    return res;
+  }
   Vector r = b;  // r = b - x A with x = 0
   Vector r_hat = r;
   Vector p(n, 0.0);
@@ -101,6 +115,102 @@ IterativeResult bicgstab_left(const RowOperator& apply_a, const Vector& b,
   return res;
 }
 
+IterativeResult gmres_left(const RowOperator& apply_a, const Vector& b,
+                           double tol, std::size_t max_iter,
+                           std::size_t restart) {
+  IterativeResult res;
+  const std::size_t n = b.size();
+  res.x = Vector(n, 0.0);
+  if (check::fault_at("iterative/gmres")) {
+    res.residual = b.norm2();
+    return res;
+  }
+  const double bnorm = std::max(b.norm2(), 1e-300);
+  const std::size_t m = std::max<std::size_t>(1, std::min(restart, n));
+  // Column-major Hessenberg: h(i, j) = h[j * (m + 1) + i].
+  std::vector<double> h((m + 1) * m, 0.0);
+  std::vector<double> cs(m, 0.0);
+  std::vector<double> sn(m, 0.0);
+  std::vector<double> g(m + 1, 0.0);
+  std::vector<Vector> basis;
+  basis.reserve(m + 1);
+
+  std::size_t applied = 0;
+  while (applied < max_iter) {
+    // r = b - x A; the restart residual is exact, not recurrence-drifted.
+    Vector r = apply_a(res.x);
+    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+    const double beta = r.norm2();
+    res.residual = beta / bnorm;
+    if (res.residual < tol) {
+      res.converged = true;
+      obs::counter_add(obs::Counter::kGmresIterations, applied);
+      return res;
+    }
+    std::fill(h.begin(), h.end(), 0.0);
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+    basis.clear();
+    r /= beta;
+    basis.push_back(std::move(r));
+
+    // Arnoldi with modified Gram-Schmidt, the Hessenberg kept triangular by
+    // Givens rotations so the least-squares residual |g[j+1]| is free.
+    std::size_t cols = 0;
+    bool breakdown = false;
+    for (std::size_t j = 0; j < m && applied < max_iter; ++j) {
+      Vector w = apply_a(basis[j]);
+      ++applied;
+      for (std::size_t i = 0; i <= j; ++i) {
+        const double hij = dot(w, basis[i]);
+        h[j * (m + 1) + i] = hij;
+        axpy(-hij, basis[i], w);
+      }
+      const double hnext = w.norm2();
+      for (std::size_t i = 0; i < j; ++i) {
+        const double t =
+            cs[i] * h[j * (m + 1) + i] + sn[i] * h[j * (m + 1) + i + 1];
+        h[j * (m + 1) + i + 1] =
+            -sn[i] * h[j * (m + 1) + i] + cs[i] * h[j * (m + 1) + i + 1];
+        h[j * (m + 1) + i] = t;
+      }
+      const double denom = std::hypot(h[j * (m + 1) + j], hnext);
+      if (denom < 1e-300) {
+        breakdown = true;  // zero column: nothing more in this Krylov space
+        break;
+      }
+      cs[j] = h[j * (m + 1) + j] / denom;
+      sn[j] = hnext / denom;
+      h[j * (m + 1) + j] = denom;
+      g[j + 1] = -sn[j] * g[j];
+      g[j] *= cs[j];
+      cols = j + 1;
+      if (std::abs(g[j + 1]) / bnorm < tol || hnext < 1e-300) {
+        breakdown = hnext < 1e-300;  // happy breakdown: solution is exact
+        break;
+      }
+      w /= hnext;
+      basis.push_back(std::move(w));
+    }
+    // Back-substitute y from the triangularized H and accumulate x.
+    std::vector<double> y(cols, 0.0);
+    for (std::size_t i = cols; i-- > 0;) {
+      double s = g[i];
+      for (std::size_t j = i + 1; j < cols; ++j) s -= h[j * (m + 1) + i] * y[j];
+      y[i] = s / h[i * (m + 1) + i];
+    }
+    for (std::size_t i = 0; i < cols; ++i) axpy(y[i], basis[i], res.x);
+    res.iterations = applied;
+    if (breakdown && cols == 0) break;  // stagnated: report non-convergence
+  }
+  Vector r = apply_a(res.x);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  res.residual = r.norm2() / bnorm;
+  res.converged = res.residual < tol;
+  obs::counter_add(obs::Counter::kGmresIterations, applied);
+  return res;
+}
+
 IterativeResult power_iteration_left(const RowOperator& apply_t,
                                      const Vector& initial, double tol,
                                      std::size_t max_iter) {
@@ -115,8 +225,13 @@ IterativeResult power_iteration_left(const RowOperator& apply_t,
     Vector next = apply_t(pi);
     const double s = next.sum();
     if (s <= 0.0) {
-      throw std::runtime_error(
-          "power_iteration_left: operator lost probability mass");
+      SolverErrorContext ctx;
+      ctx.dimension = pi.size();
+      ctx.iterations = k;
+      ctx.detail = "operator lost probability mass (iterate sum " +
+                   std::to_string(s) + ")";
+      throw SolverError(SolverErrorKind::kNumericalBreakdown,
+                        SolverStage::kPowerIteration, std::move(ctx));
     }
     next /= s;
     Vector diff = next - pi;

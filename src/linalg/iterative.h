@@ -41,6 +41,16 @@ struct IterativeResult {
                                             double tol = 1e-12,
                                             std::size_t max_iter = 10000);
 
+/// Restarted GMRES(m) for x A = b given the row action y = x * A.  The
+/// heavy-duty Krylov backend of the fallback ladder (docs/ROBUSTNESS.md):
+/// monotone residual reduction where BiCGSTAB's two-term recurrences can
+/// stagnate, at the cost of `restart` stored basis vectors.  `max_iter`
+/// bounds the total operator applications across restarts.
+[[nodiscard]] IterativeResult gmres_left(const RowOperator& apply_a,
+                                         const Vector& b, double tol = 1e-12,
+                                         std::size_t max_iter = 10000,
+                                         std::size_t restart = 30);
+
 /// Power iteration for the dominant left fixed point pi = pi * T of a
 /// stochastic operator (spectral radius 1, Perron root simple).  The iterate
 /// is renormalized to sum 1 each step; convergence is measured in inf-norm of

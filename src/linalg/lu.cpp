@@ -2,12 +2,37 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
+#include "check/fault_inject.h"
+#include "linalg/solver_error.h"
 #include "obs/counters.h"
 #include "parallel/thread_pool.h"
 
 namespace finwork::la {
+
+namespace {
+
+/// Singularity diagnostics: the matrix dimension, the pivot column where
+/// elimination died, and a pivot-ratio condition estimate — enough context
+/// to localize the offending level of a figure-scale sweep from the error
+/// alone.  `max_pivot` is the largest pivot seen before the breakdown; the
+/// condition estimate is infinite for an exactly zero pivot.
+[[noreturn]] void throw_singular(std::size_t n, std::size_t pivot_col,
+                                 double max_pivot, double best,
+                                 std::string detail) {
+  SolverErrorContext ctx;
+  ctx.dimension = n;
+  ctx.pivot = pivot_col;
+  ctx.condition_estimate =
+      best > 0.0 ? max_pivot / best : std::numeric_limits<double>::infinity();
+  ctx.detail = std::move(detail);
+  throw SolverError(SolverErrorKind::kSingular, SolverStage::kLuFactorize,
+                    std::move(ctx));
+}
+
+}  // namespace
 
 LuDecomposition::LuDecomposition(const Matrix& a) : lu_(a) {
   if (!a.square()) {
@@ -19,6 +44,10 @@ LuDecomposition::LuDecomposition(const Matrix& a) : lu_(a) {
   piv_.resize(n);
   for (std::size_t i = 0; i < n; ++i) piv_[i] = i;
 
+  if (check::fault_at("lu/factorize")) {
+    throw_singular(n, 0, norm_inf_a_, 0.0, "injected singular factorization");
+  }
+  double max_pivot = 0.0;
   for (std::size_t k = 0; k < n; ++k) {
     // Partial pivoting: pick the largest |entry| in column k at/below row k.
     std::size_t p = k;
@@ -31,8 +60,10 @@ LuDecomposition::LuDecomposition(const Matrix& a) : lu_(a) {
       }
     }
     if (best == 0.0) {
-      throw std::runtime_error("LuDecomposition: matrix is singular");
+      throw_singular(n, k, max_pivot, best,
+                     "matrix is singular to working precision");
     }
+    max_pivot = std::max(max_pivot, best);
     if (p != k) {
       auto rk = lu_.row(k);
       auto rp = lu_.row(p);

@@ -18,7 +18,9 @@ namespace finwork::la {
 class LuDecomposition {
  public:
   /// Factorizes a copy of `a`.  Throws std::invalid_argument if `a` is not
-  /// square and std::runtime_error if `a` is singular to working precision.
+  /// square and finwork::SolverError (kind kSingular, with the dimension,
+  /// pivot column and a pivot-ratio condition estimate in its context) if
+  /// `a` is singular to working precision.
   explicit LuDecomposition(const Matrix& a);
 
   [[nodiscard]] std::size_t dim() const noexcept { return lu_.rows(); }

@@ -22,6 +22,7 @@ constexpr std::array<std::string_view, kNumCounters> kCounterNames = {
     "solver.iterative_solves",
     "linalg.neumann_iterations",
     "linalg.bicgstab_iterations",
+    "linalg.gmres_iterations",
     "linalg.power_iterations",
     "solver.epoch_recursions",
     "solver.fast_forward_activations",
@@ -41,6 +42,9 @@ constexpr std::array<std::string_view, kNumCounters> kCounterNames = {
     "cache.model_misses",
     "cache.model_evictions",
     "solver.grid_points_per_pass",
+    "solver.fallback_activations",
+    "linalg.refinement_iters",
+    "linalg.condition_estimates",
 };
 
 constexpr std::array<std::string_view, kNumGauges> kGaugeNames = {

@@ -25,6 +25,7 @@ enum class Counter : std::size_t {
   kIterativeSolves,      ///< matrix-free solves (Neumann and/or BiCGSTAB)
   kNeumannIterations,    ///< total Neumann-series terms applied
   kBicgstabIterations,   ///< total BiCGSTAB iterations
+  kGmresIterations,      ///< total GMRES operator applications
   kPowerIterations,      ///< total power-iteration steps
   kEpochRecursions,      ///< Y_k / R_k epoch steps taken by solve()
   kFastForwardActivations,  ///< saturated loops closed analytically
@@ -44,6 +45,9 @@ enum class Counter : std::size_t {
   kModelCacheMisses,     ///< ModelCache lookups that built a new model
   kModelCacheEvictions,  ///< models evicted by the LRU capacity bound
   kGridPointsPerPass,    ///< N-grid points harvested by single-pass sweeps
+  kFallbackActivations,  ///< fallback-ladder stages entered after a failure
+  kRefinementIters,      ///< iterative-refinement correction steps applied
+  kConditionEstimates,   ///< condition estimates computed at factorization
   kCount
 };
 

@@ -1,0 +1,59 @@
+// Compile-out guarantees of the fault-injection framework.
+//
+// This TU forces FINWORK_FAULT_INJECT=0 before including the header (the
+// rest of the binary keeps whatever the build selected), so it sees exactly
+// what a production build sees: `kFaultInjectEnabled` is false and every
+// `fault_at` probe is a constant `false` with zero generated code.  The
+// control API stays declared so tests and tools always link; whether
+// arm_fault throws is decided by how the *library* was built, which the
+// runtime test below dispatches on.
+
+// Hot headers first, before the framework header: if one of them dragged
+// fault_inject.h in, the marker below would already be defined.
+#include "core/transient_solver.h"
+#include "linalg/iterative.h"
+#include "linalg/lu.h"
+
+#ifdef FINWORK_FAULT_INJECT_INCLUDED
+#error "a hot-path header includes fault_inject.h; keep probes in .cpp files"
+#endif
+
+// Now simulate a production build for the framework header in this TU only.
+#undef FINWORK_FAULT_INJECT
+#define FINWORK_FAULT_INJECT 0
+#include "check/fault_inject.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+namespace check = finwork::check;
+
+static_assert(!check::kFaultInjectEnabled,
+              "FINWORK_FAULT_INJECT=0 must disable the framework");
+static_assert(noexcept(check::fault_at("lu/factorize")),
+              "the probe must be noexcept");
+static_assert(noexcept(check::disarm_all_faults()),
+              "disarm_all_faults must be a safe no-op");
+
+TEST(FaultInjectCompileOutTest, DisabledProbeIsAlwaysFalse) {
+  // In this TU the probe short-circuits before reaching the registry, so it
+  // is false even if the linked library has injection enabled and armed.
+  EXPECT_FALSE(check::fault_at("lu/factorize"));
+  EXPECT_FALSE(check::fault_at("iterative/neumann"));
+  EXPECT_FALSE(check::fault_at("definitely/not/a/site"));
+}
+
+TEST(FaultInjectCompileOutTest, RegistryStaysReadableWhenDisabled) {
+  const std::vector<std::string_view> sites = check::fault_sites();
+  EXPECT_FALSE(sites.empty());
+  EXPECT_NE(std::find(sites.begin(), sites.end(), "cache/build"),
+            sites.end());
+  // Unknown sites fail loudly in every build flavour.
+  EXPECT_THROW((void)check::fault_fire_count("no/such/site"),
+               std::logic_error);
+  check::disarm_all_faults();  // must not throw
+}

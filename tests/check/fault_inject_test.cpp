@@ -1,0 +1,274 @@
+// Deterministic fault-injection regressions for the fallback ladder
+// (docs/ROBUSTNESS.md).  Built only when FINWORK_FAULT_INJECT is ON (the
+// debug-fault preset / CI fault-inject job): each test arms a named failure
+// site, drives the solver through the degraded path, and asserts that the
+// fallback reproduced the healthy numbers, that the right counters/events
+// fired, and that exhaustion surfaces as the right SolverError.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "check/fault_inject.h"
+#include "cluster/experiments.h"
+#include "core/model_cache.h"
+#include "core/transient_solver.h"
+#include "linalg/solver_error.h"
+#include "obs/counters.h"
+#include "obs/obs_config.h"
+#include "obs/sink.h"
+
+namespace check = finwork::check;
+namespace cluster = finwork::cluster;
+namespace core = finwork::core;
+namespace obs = finwork::obs;
+using finwork::SolverError;
+using finwork::SolverErrorKind;
+using finwork::SolverStage;
+
+static_assert(check::kFaultInjectEnabled,
+              "fault_inject_test must be built with FINWORK_FAULT_INJECT=ON");
+
+namespace {
+
+finwork::net::NetworkSpec small_cluster(std::size_t workstations = 2) {
+  cluster::ExperimentConfig cfg;
+  cfg.workstations = workstations;
+  return cluster::build_cluster(cfg);
+}
+
+bool saw_event(const std::string& category) {
+  for (const obs::StructuredEvent& ev : obs::events_snapshot()) {
+    if (ev.category == category) return true;
+  }
+  return false;
+}
+
+class FaultInjectTest : public ::testing::Test {
+ protected:
+  void SetUp() override { check::disarm_all_faults(); }
+  void TearDown() override { check::disarm_all_faults(); }
+};
+
+}  // namespace
+
+TEST_F(FaultInjectTest, RegistryListsEveryLadderSite) {
+  const std::vector<std::string_view> sites = check::fault_sites();
+  for (const char* expected :
+       {"lu/factorize", "ladder/refine", "ladder/rescue", "iterative/neumann",
+        "iterative/bicgstab", "iterative/gmres", "cache/build"}) {
+    EXPECT_NE(std::find(sites.begin(), sites.end(), expected), sites.end())
+        << expected;
+  }
+  EXPECT_THROW(check::arm_fault("no/such/site"), std::logic_error);
+  EXPECT_THROW((void)check::fault_fire_count("no/such/site"),
+               std::logic_error);
+}
+
+TEST_F(FaultInjectTest, SingularFactorizationDegradesToIterativeBackend) {
+  const finwork::net::NetworkSpec spec = small_cluster();
+  const core::TransientSolver healthy(spec, 2);
+  const double reference = healthy.makespan(10);
+
+  // Both dense levels of a fresh model hit the armed probe and degrade to
+  // the matrix-free backend; the numbers must not move.
+  const std::uint64_t fallback_before =
+      obs::counter_value(obs::Counter::kFallbackActivations);
+  check::arm_fault("lu/factorize", 8);
+  const core::TransientSolver degraded(spec, 2);
+  const double value = degraded.makespan(10);
+  check::disarm_all_faults();
+  EXPECT_NEAR(value, reference, 1e-8 * reference);
+  EXPECT_GT(check::fault_fire_count("lu/factorize"), 0u);
+  if constexpr (obs::kEnabled) {
+    EXPECT_GT(obs::counter_value(obs::Counter::kFallbackActivations),
+              fallback_before);
+    EXPECT_TRUE(saw_event("degradation/lu-singular"));
+  }
+}
+
+TEST_F(FaultInjectTest, SingularFactorizationIsFatalUnderStrict) {
+  core::SolverOptions opts;
+  opts.strict = true;
+  const core::ModelArtifacts model(small_cluster(), 2, opts);
+  check::arm_fault("lu/factorize", 1);
+  try {
+    (void)model.tau(1);
+    FAIL() << "expected SolverError";
+  } catch (const SolverError& e) {
+    EXPECT_EQ(e.kind(), SolverErrorKind::kSingular);
+    EXPECT_EQ(e.stage(), SolverStage::kLuFactorize);
+    EXPECT_EQ(e.context().level, 1u);
+    EXPECT_NE(std::string(e.what()).find("injected"), std::string::npos);
+  }
+}
+
+TEST_F(FaultInjectTest, StalledRefinementFallsBackToIterativeBackend) {
+  const finwork::net::NetworkSpec spec = small_cluster();
+  const core::TransientSolver healthy(spec, 2);
+  const double reference = healthy.makespan(10);
+
+  // max_condition = 1 routes every dense solve through refinement; the armed
+  // probe makes refinement report failure, forcing stage 3.
+  core::SolverOptions opts;
+  opts.max_condition = 1.0;
+  check::arm_fault("ladder/refine", 100000);
+  const core::TransientSolver degraded(spec, 2, opts);
+  const double value = degraded.makespan(10);
+  check::disarm_all_faults();
+  EXPECT_NEAR(value, reference, 1e-8 * reference);
+  EXPECT_GT(check::fault_fire_count("ladder/refine"), 0u);
+  if constexpr (obs::kEnabled) {
+    EXPECT_TRUE(saw_event("degradation/refinement"));
+  }
+}
+
+TEST_F(FaultInjectTest, ExhaustedKrylovBackendsRecoverViaShiftedRetry) {
+  // dense_threshold = 0: every level runs the matrix-free backend, so one
+  // armed failure per backend pushes a single solve into the rescue stage.
+  core::SolverOptions opts;
+  opts.dense_threshold = 0;
+  const core::ModelArtifacts model(small_cluster(), 2, opts);
+  const finwork::la::Vector b(model.space().dimension(2), 1.0);
+  const finwork::la::Vector reference = model.solve_left(2, b);
+
+  check::arm_fault("iterative/neumann", 1);
+  check::arm_fault("iterative/bicgstab", 1);
+  check::arm_fault("iterative/gmres", 1);
+  const finwork::la::Vector rescued = model.solve_left(2, b);
+  check::disarm_all_faults();
+  ASSERT_EQ(rescued.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_NEAR(rescued[i], reference[i],
+                1e-8 * (1.0 + std::abs(reference[i])))
+        << "component " << i;
+  }
+  EXPECT_GT(check::fault_fire_count("iterative/neumann"), 0u);
+  EXPECT_GT(check::fault_fire_count("iterative/bicgstab"), 0u);
+  EXPECT_GT(check::fault_fire_count("iterative/gmres"), 0u);
+  if constexpr (obs::kEnabled) {
+    EXPECT_TRUE(saw_event("degradation/iterative"));
+    EXPECT_TRUE(saw_event("degradation/shifted-retry"));
+  }
+}
+
+TEST_F(FaultInjectTest, LadderExhaustionThrowsShiftedRetryError) {
+  core::SolverOptions opts;
+  opts.dense_threshold = 0;
+  const core::ModelArtifacts model(small_cluster(), 2, opts);
+  const finwork::la::Vector b(model.space().dimension(2), 1.0);
+  (void)model.tau(2);  // prepare the level with healthy solves first
+
+  check::arm_fault("iterative/neumann", 1);
+  check::arm_fault("iterative/bicgstab", 1);
+  check::arm_fault("iterative/gmres", 1);
+  check::arm_fault("ladder/rescue", 1);
+  try {
+    (void)model.solve_left(2, b);
+    FAIL() << "expected SolverError";
+  } catch (const SolverError& e) {
+    EXPECT_EQ(e.kind(), SolverErrorKind::kNonConvergence);
+    EXPECT_EQ(e.stage(), SolverStage::kShiftedRetry);
+    EXPECT_EQ(e.context().level, 2u);
+  }
+  check::disarm_all_faults();
+}
+
+TEST_F(FaultInjectTest, StrictModeStopsBeforeTheRescueStage) {
+  core::SolverOptions opts;
+  opts.dense_threshold = 0;
+  opts.strict = true;
+  const core::ModelArtifacts model(small_cluster(), 2, opts);
+  const finwork::la::Vector b(model.space().dimension(2), 1.0);
+  (void)model.tau(2);
+
+  const std::uint64_t rescue_before = check::fault_fire_count("ladder/rescue");
+  check::arm_fault("iterative/neumann", 1);
+  check::arm_fault("iterative/bicgstab", 1);
+  check::arm_fault("iterative/gmres", 1);
+  check::arm_fault("ladder/rescue", 1);
+  try {
+    (void)model.solve_left(2, b);
+    FAIL() << "expected SolverError";
+  } catch (const SolverError& e) {
+    EXPECT_EQ(e.kind(), SolverErrorKind::kNonConvergence);
+    EXPECT_EQ(e.stage(), SolverStage::kGmres);
+  }
+  check::disarm_all_faults();
+  // Strict stopped before the rescue stage: its armed probe never fired.
+  EXPECT_EQ(check::fault_fire_count("ladder/rescue"), rescue_before);
+}
+
+TEST_F(FaultInjectTest, FailedCacheBuildIsNotPoisonedAndRetries) {
+  core::ModelCache cache(4);
+  const finwork::net::NetworkSpec spec = small_cluster();
+
+  check::arm_fault("cache/build", 1);
+  try {
+    (void)cache.acquire(spec, 2, {});
+    FAIL() << "expected SolverError";
+  } catch (const SolverError& e) {
+    EXPECT_EQ(e.kind(), SolverErrorKind::kCacheBuildFailure);
+    EXPECT_EQ(e.stage(), SolverStage::kCacheBuild);
+  }
+  // The failed flight left no entry behind: the retry builds cleanly.
+  EXPECT_EQ(cache.stats().size, 0u);
+  const auto model = cache.acquire(spec, 2, {});
+  EXPECT_NE(model, nullptr);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().size, 1u);
+}
+
+TEST_F(FaultInjectTest, WaitersOfAFailedFlightAllSeeTheSolverError) {
+  core::ModelCache cache(4);
+  const finwork::net::NetworkSpec spec = small_cluster(3);
+
+  const std::uint64_t fired_before = check::fault_fire_count("cache/build");
+  check::arm_fault("cache/build", 1);
+  constexpr std::size_t kThreads = 6;
+  std::atomic<std::size_t> failures{0};
+  std::atomic<std::size_t> successes{0};
+  std::atomic<bool> start{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      try {
+        const auto m = cache.acquire(spec, 3, {});
+        if (m != nullptr) successes.fetch_add(1);
+      } catch (const SolverError& e) {
+        if (e.kind() == SolverErrorKind::kCacheBuildFailure) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  start.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+
+  // Exactly one flight hit the armed fault; its builder and every thread
+  // parked on the same shared future saw the same SolverError.  Threads that
+  // arrived after the failed entry was erased rebuilt successfully.
+  EXPECT_EQ(check::fault_fire_count("cache/build"), fired_before + 1);
+  EXPECT_GE(failures.load(), 1u);
+  EXPECT_EQ(failures.load() + successes.load(), kThreads);
+  // The key is never poisoned: a final acquire always succeeds.
+  EXPECT_NE(cache.acquire(spec, 3, {}), nullptr);
+}
+
+TEST_F(FaultInjectTest, DisarmCancelsRemainingFailures) {
+  check::arm_fault("iterative/neumann", 5);
+  check::disarm_fault("iterative/neumann");
+  EXPECT_FALSE(check::fault_at("iterative/neumann"));
+  check::arm_fault("iterative/neumann", 1);
+  EXPECT_TRUE(check::fault_at("iterative/neumann"));
+  EXPECT_FALSE(check::fault_at("iterative/neumann"));  // count consumed
+}

@@ -1,0 +1,78 @@
+// Tier-1 promotion of the bench-only simulation cross-check
+// (bench/figures/fig_sim_crosscheck.cpp): three cheap figure configurations
+// are solved analytically and simulated with fixed seeds, and the z-score of
+// the simulated makespan against the analytic mean must stay below 3.  The
+// bench harness prints these numbers for a human; this test makes the
+// agreement a hard CI gate.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/experiments.h"
+#include "core/transient_solver.h"
+#include "sim/simulator.h"
+
+namespace cluster = finwork::cluster;
+namespace core = finwork::core;
+namespace sim = finwork::sim;
+
+namespace {
+
+struct CrosscheckCase {
+  const char* name;
+  cluster::Architecture arch;
+  std::size_t workstations;
+  std::size_t tasks;
+  double cpu_scv;
+  double remote_scv;
+  std::uint64_t seed;
+};
+
+void expect_z_below_three(const CrosscheckCase& c) {
+  cluster::ExperimentConfig cfg;
+  cfg.architecture = c.arch;
+  cfg.workstations = c.workstations;
+  if (c.cpu_scv != 1.0) {
+    cfg.shapes.cpu = cluster::ServiceShape::from_scv(c.cpu_scv);
+  }
+  if (c.remote_scv != 1.0) {
+    cfg.shapes.remote_disk = cluster::ServiceShape::from_scv(c.remote_scv);
+  }
+  const finwork::net::NetworkSpec spec = cluster::build_cluster(cfg);
+  const core::TransientSolver solver(spec, c.workstations);
+  const double analytic = solver.makespan(c.tasks);
+
+  const sim::NetworkSimulator simulator(spec, c.workstations);
+  sim::SimulationOptions opts;
+  opts.replications = 2000;
+  opts.seed = c.seed;
+  const sim::SimulationResult sr = simulator.run(c.tasks, opts);
+
+  const double z = (sr.makespan.mean() - analytic) /
+                   std::max(sr.makespan.std_error(), 1e-12);
+  EXPECT_LT(std::abs(z), 3.0)
+      << c.name << ": analytic " << analytic << ", simulated "
+      << sr.makespan.mean() << " +- " << sr.makespan.ci_half_width();
+}
+
+}  // namespace
+
+// The seeds are fixed, so each case is a deterministic regression test: a
+// z-score drift past 3 means the analytic solver (or the simulator) moved.
+
+TEST(SimCrosscheck, CentralExponentialK4) {
+  expect_z_below_three({"central-exp", cluster::Architecture::kCentral, 4, 20,
+                        1.0, 1.0, 0xF1A2B3C4});
+}
+
+TEST(SimCrosscheck, CentralHyperexponentialDiskK4) {
+  expect_z_below_three({"central-h2-disk", cluster::Architecture::kCentral, 4,
+                        20, 1.0, 10.0, 0xF1A2B3C5});
+}
+
+TEST(SimCrosscheck, DistributedErlangCpuK3) {
+  expect_z_below_three({"dist-e3-cpu", cluster::Architecture::kDistributed, 3,
+                        15, 1.0 / 3.0, 1.0, 0xF1A2B3C6});
+}

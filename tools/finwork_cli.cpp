@@ -1,13 +1,21 @@
 // finwork_cli — run a transient-model experiment from a JSON config.
 //
 // Usage:
-//   finwork_cli [--trace-out=FILE] [--stats] <config.json>
+//   finwork_cli [--trace-out=FILE] [--stats] [--strict]
+//               [--max-condition=X] <config.json>
 //   finwork_cli --example          # print an annotated example config
 //
 // Observability (docs/OBSERVABILITY.md):
 //   --trace-out=FILE   write a Chrome trace-event JSON of the run
 //                      (open in chrome://tracing or ui.perfetto.dev)
 //   --stats            print the span summary and counter registry
+//
+// Robustness (docs/ROBUSTNESS.md):
+//   --strict           fail fast on any numerical degradation instead of
+//                      walking the fallback ladder
+//   --max-condition=X  treat any level whose condition estimate exceeds X
+//                      as degraded (refine in default mode, fatal under
+//                      --strict); 0 = unlimited
 //
 // Outputs (select via the config's "outputs" array; default: summary,
 // timeline, steady_state):
@@ -33,6 +41,7 @@
 #include "core/metrics.h"
 #include "core/model_cache.h"
 #include "core/transient_solver.h"
+#include "linalg/solver_error.h"
 #include "obs/trace.h"
 #include "pf/product_form.h"
 #include "sim/simulator.h"
@@ -71,6 +80,7 @@ int main(int argc, char** argv) {
   using namespace finwork;
   std::string trace_out;
   bool stats = false;
+  core::SolverOptions solver_options;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -80,6 +90,19 @@ int main(int argc, char** argv) {
     }
     if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--strict") {
+      solver_options.strict = true;
+    } else if (arg.rfind("--max-condition=", 0) == 0) {
+      try {
+        solver_options.max_condition = std::stod(arg.substr(16));
+      } catch (const std::exception&) {
+        std::cerr << "bad --max-condition value: " << arg.substr(16) << '\n';
+        return 2;
+      }
+      if (solver_options.max_condition < 0.0) {
+        std::cerr << "--max-condition must be >= 0\n";
+        return 2;
+      }
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(12);
     } else if (arg == "--trace-out" && i + 1 < argc) {
@@ -92,8 +115,8 @@ int main(int argc, char** argv) {
     }
   }
   if (positional.size() != 1 || (!trace_out.empty() && trace_out[0] == '-')) {
-    std::cerr << "usage: finwork_cli [--trace-out=FILE] [--stats] "
-                 "<config.json> | finwork_cli --example\n";
+    std::cerr << "usage: finwork_cli [--trace-out=FILE] [--stats] [--strict] "
+                 "[--max-condition=X] <config.json> | finwork_cli --example\n";
     return 2;
   }
   const std::string& config_path = positional[0];
@@ -141,7 +164,9 @@ int main(int argc, char** argv) {
 
     const net::NetworkSpec network = spec.build();
     const core::TransientSolver solver(
-        core::ModelCache::global().acquire(network, spec.workstations));
+        core::ModelCache::global().acquire(network, spec.workstations,
+                                           solver_options),
+        solver_options);
     const core::DepartureTimeline tl = solver.solve(spec.tasks);
     const core::SteadyStateResult& ss = solver.steady_state();
 
@@ -196,8 +221,11 @@ int main(int argc, char** argv) {
       }
     }
     if (wants(spec, "prediction_error")) {
-      const core::TransientSolver expo(core::ModelCache::global().acquire(
-          network.exponentialized(), spec.workstations));
+      const core::TransientSolver expo(
+          core::ModelCache::global().acquire(network.exponentialized(),
+                                             spec.workstations,
+                                             solver_options),
+          solver_options);
       std::cout << "exponential-assumption error: "
                 << core::prediction_error_percent(tl.makespan,
                                                   expo.makespan(spec.tasks))
@@ -228,6 +256,10 @@ int main(int argc, char** argv) {
                 << ")\n";
     }
     return 0;
+  } catch (const SolverError& e) {
+    std::cerr << "solver error [" << solver_error_kind_name(e.kind()) << '/'
+              << solver_stage_name(e.stage()) << "]: " << e.what() << '\n';
+    return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
